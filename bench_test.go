@@ -1,0 +1,366 @@
+// Package addrxlat's root benchmark harness: one testing.B benchmark per
+// experiment in DESIGN.md §3. Each benchmark runs a (scaled) instance of
+// the corresponding experiment and reports the figure's headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` regenerates every
+// table and figure in miniature. The cmd/figures binary runs the same
+// experiments at larger scale with full parameter sweeps.
+package addrxlat
+
+import (
+	"strconv"
+	"testing"
+
+	"addrxlat/internal/ballsbins"
+	"addrxlat/internal/core"
+	"addrxlat/internal/experiments"
+	"addrxlat/internal/graph500"
+	"addrxlat/internal/mm"
+	"addrxlat/internal/policy"
+	"addrxlat/internal/workload"
+)
+
+// benchScale keeps each bench iteration around a second.
+func benchScale() experiments.Scale {
+	return experiments.Scale{SpaceDiv: 512, AccessDiv: 500}
+}
+
+// reportEndpoints extracts the h=1 row and the largest usable-h row of a
+// Figure 1 table into benchmark metrics (the figure's shape in four
+// numbers). Saturated rows (RAM smaller than one huge page at aggressive
+// scaling) are skipped when picking the upper endpoint.
+func reportEndpoints(b *testing.B, tab *experiments.Table) {
+	b.Helper()
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	for i := len(tab.Rows) - 1; i >= 0; i-- {
+		if tab.Rows[i][1] != "saturated" {
+			last = tab.Rows[i]
+			break
+		}
+	}
+	b.ReportMetric(parse(first[1]), "ios_h1")
+	b.ReportMetric(parse(first[2]), "tlbmiss_h1")
+	b.ReportMetric(parse(last[1]), "ios_hmax")
+	b.ReportMetric(parse(last[2]), "tlbmiss_hmax")
+}
+
+// BenchmarkFig1aBimodal regenerates Figure 1a (bimodal uniform workload).
+func BenchmarkFig1aBimodal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig1(experiments.F1aBimodal, benchScale(), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportEndpoints(b, tab)
+		}
+	}
+}
+
+// BenchmarkFig1bGraphWalk regenerates Figure 1b (Pareto graph walk).
+func BenchmarkFig1bGraphWalk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig1(experiments.F1bGraphWalk, benchScale(), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportEndpoints(b, tab)
+		}
+	}
+}
+
+// BenchmarkFig1cGraph500 regenerates Figure 1c (graph500 BFS trace).
+func BenchmarkFig1cGraph500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig1(experiments.F1cGraph500, benchScale(), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportEndpoints(b, tab)
+		}
+	}
+}
+
+// BenchmarkTheorem1SingleChoice regenerates the Theorem 1 failure sweep.
+func BenchmarkTheorem1SingleChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Theorem1(1<<15, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkTheorem2Iceberg regenerates the Theorem 2 max-load comparison.
+func BenchmarkTheorem2Iceberg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Theorem2(32, []int{1 << 10, 1 << 12}, 10000, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			one, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+			ice, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][7], 64)
+			b.ReportMetric(one, "onechoice_peak")
+			b.ReportMetric(ice, "iceberg_peak")
+		}
+	}
+}
+
+// BenchmarkTheorem3Decoupling regenerates the Theorem 3 failure sweep.
+func BenchmarkTheorem3Decoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Theorem3(1<<15, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkTheorem4Simulation regenerates the Simulation Theorem table.
+func BenchmarkTheorem4Simulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Theorem4(benchScale(), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 3 workloads × (5 algorithms + 2 offline-OPT rows).
+		if len(tab.Rows) != 21 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkEquation2HmaxScaling regenerates the Eq. (2) scaling table.
+func BenchmarkEquation2HmaxScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Equation2(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHybrid regenerates the Section 8 hybrid sweep.
+func BenchmarkHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Hybrid(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoliciesVsOpt regenerates the classical-paging policy table.
+func BenchmarkPoliciesVsOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Policies(256, 100000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveBaselines regenerates the THP/superpage comparison.
+func BenchmarkAdaptiveBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Adaptive(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNestedTranslation regenerates the virtualized-translation table.
+func BenchmarkNestedTranslation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Nested(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTenants regenerates the shared-TLB contention table.
+func BenchmarkTenants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tenants(256, 512, 200000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelatedDesigns regenerates the CoLT/direct-segment table.
+func BenchmarkRelatedDesigns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Related(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeShare regenerates the execution-time breakdown table.
+func BenchmarkTimeShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TimeShare(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTLBGeometry regenerates the TLB-organization table.
+func BenchmarkTLBGeometry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TLBGeometryStudy(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiCore regenerates the per-core-TLB table.
+func BenchmarkMultiCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiCoreStudy(256, 1<<11, 200000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossover regenerates the headline best-fixed-h summary.
+func BenchmarkCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Crossover(benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverageVsW regenerates the Conclusion's w-scaling table.
+func BenchmarkCoverageVsW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CoverageVsW(1 << 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailureProbability regenerates the w.h.p. validation table
+// (fewer seeds than the CLI run, for bench-friendly latency).
+func BenchmarkFailureProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FailureProbability([]uint{12, 14}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIcebergThreshold is the ablation bench for the front-bin
+// threshold factor: peak load of Iceberg[2] at thresholds 0.9λ, 1.05λ
+// (the default) and 1.3λ.
+func BenchmarkIcebergThreshold(b *testing.B) {
+	const n, lambda = 1 << 12, 32
+	const m = n * lambda
+	for _, factor := range []float64{0.9, 1.05, 1.3} {
+		b.Run(strconv.FormatFloat(factor, 'f', 2, 64), func(b *testing.B) {
+			peak := 0
+			for i := 0; i < b.N; i++ {
+				th := int(float64(lambda) * factor)
+				if th < 1 {
+					th = 1
+				}
+				g := ballsbins.NewGame(ballsbins.NewIceberg(n, 2, th, uint64(i)+1), m, uint64(i)+99)
+				g.Churn(10000)
+				peak = g.PeakLoad()
+			}
+			b.ReportMetric(float64(peak), "peak_load")
+		})
+	}
+}
+
+// --- Microbenchmarks of the hot paths behind the experiments ---
+
+// BenchmarkAccessHugePage measures one baseline-simulator access.
+func BenchmarkAccessHugePage(b *testing.B) {
+	gen, err := workload.NewBimodal(1<<12, 1<<18, 0.9999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<20)
+	alg, err := mm.NewHugePage(mm.HugePageConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Access(reqs[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkAccessDecoupled measures one Z access (TLB + decode + Y).
+func BenchmarkAccessDecoupled(b *testing.B) {
+	gen, err := workload.NewBimodal(1<<12, 1<<18, 0.9999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<20)
+	z, err := mm.NewDecoupled(mm.DecoupledConfig{
+		Alloc:        core.IcebergAlloc,
+		RAMPages:     1 << 16,
+		VirtualPages: 1 << 18,
+		TLBEntries:   1536,
+		ValueBits:    64,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Access(reqs[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkGraph500TraceGeneration measures building the Figure 1c input.
+func BenchmarkGraph500TraceGeneration(b *testing.B) {
+	g, err := graph500.Generate(graph500.Config{Scale: 14, EdgeFactor: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := g.HighestDegreeVertex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.BFSTrace(root, graph500.DefaultLayout(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(res.Trace)), "trace_len")
+		}
+	}
+}
+
+// BenchmarkOptBelady measures the offline-optimal baseline used in policy
+// comparisons.
+func BenchmarkOptBelady(b *testing.B) {
+	gen, err := workload.NewZipf(1<<14, 1.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.OptMisses(reqs, 1<<10)
+	}
+}

@@ -1,0 +1,237 @@
+// Command atsim runs one address-translation simulation: a workload
+// against a memory-management algorithm, printing the cost counters of the
+// address-translation cost model.
+//
+// Examples:
+//
+//	atsim -workload bimodal -algo hugepage -h 64
+//	atsim -workload graphwalk -algo decoupled -alloc iceberg
+//	atsim -workload graph500 -algo hybrid -g 4
+//	atsim -workload zipf -zipf-s 1.2 -algo decoupled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"addrxlat/internal/core"
+	"addrxlat/internal/graph500"
+	"addrxlat/internal/mm"
+	"addrxlat/internal/policy"
+	"addrxlat/internal/trace"
+	"addrxlat/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "bimodal", "workload: bimodal|graphwalk|graph500|uniform|zipf|sequential")
+		algo    = flag.String("algo", "hugepage", "algorithm: hugepage|decoupled|hybrid|thp|superpage|hawkeye|directseg|coalesced|nested|tlb-only|ram-only")
+		alloc   = flag.String("alloc", "iceberg", "decoupled allocation scheme: full|single|iceberg")
+		h       = flag.Uint64("h", 1, "huge-page size for -algo hugepage")
+		g       = flag.Uint64("g", 2, "group size for -algo hybrid")
+		vPages  = flag.Uint64("vpages", 1<<20, "virtual address space, base pages")
+		ramPg   = flag.Uint64("ram", 1<<18, "physical memory, base pages")
+		tlbEnt  = flag.Int("tlb", 1536, "TLB entries")
+		wBits   = flag.Int("w", 64, "TLB value bits")
+		tlbPol  = flag.String("tlb-policy", "lru", "TLB replacement policy")
+		ramPol  = flag.String("ram-policy", "lru", "RAM replacement policy")
+		warmN   = flag.Int("warmup", 1_000_000, "warmup accesses")
+		measN   = flag.Int("measure", 1_000_000, "measured accesses")
+		hotFrac = flag.Float64("hot-prob", 0.9999, "bimodal hot-access probability")
+		hotPg   = flag.Uint64("hot", 1<<14, "bimodal hot-region pages")
+		zipfS   = flag.Float64("zipf-s", 1.1, "zipf exponent")
+		alpha   = flag.Float64("alpha", 0.01, "graphwalk Pareto alpha")
+		gscale  = flag.Int("gscale", 16, "graph500 scale (log2 vertices)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		eps     = flag.Float64("eps", 0.01, "TLB-miss cost ε")
+		dumpTo  = flag.String("dump-trace", "", "also write the measured trace to this file")
+		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating a workload")
+	)
+	flag.Parse()
+
+	var (
+		warm, meas []uint64
+		vSpace     uint64
+		err        error
+	)
+	if *replay != "" {
+		*wl = "replay:" + *replay
+		warm, meas, vSpace, err = loadTrace(*replay, *warmN, *measN)
+	} else {
+		warm, meas, vSpace, err = buildWorkload(*wl, *vPages, *warmN, *measN, *hotPg, *hotFrac, *zipfS, *alpha, *gscale, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if vSpace > 0 {
+		*vPages = vSpace
+	}
+
+	alg, err := buildAlgorithm(*algo, core.AllocKind(allocName(*alloc)), *h, *g, *vPages, *ramPg,
+		*tlbEnt, *wBits, policy.Kind(*tlbPol), policy.Kind(*ramPol), *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	costs := mm.RunWarm(alg, warm, meas)
+	fmt.Printf("algorithm: %s\n", alg.Name())
+	fmt.Printf("workload:  %s (%d warmup + %d measured accesses)\n", *wl, len(warm), len(meas))
+	fmt.Printf("machine:   V=%d pages, P=%d pages, TLB=%d entries, w=%d bits\n",
+		*vPages, *ramPg, *tlbEnt, *wBits)
+	fmt.Printf("costs:     %s\n", costs)
+	fmt.Printf("total:     C = %.2f  (ε=%.3g)\n", costs.Total(*eps), *eps)
+	if z, ok := alg.(*mm.Decoupled); ok {
+		fmt.Printf("decoupled: %s\n", z.Params())
+		fmt.Printf("failures:  %d lifetime paging failures, %d failure-path accesses\n",
+			z.Scheme().TotalFailures(), z.FailureHits())
+	}
+
+	if *dumpTo != "" {
+		f, err := os.Create(*dumpTo)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, meas); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace:     wrote %d accesses to %s (%s)\n",
+			len(meas), *dumpTo, trace.Summarize(meas))
+	}
+}
+
+// loadTrace reads a recorded trace and splits it into warmup/measured
+// halves (bounded by the requested counts when the trace is long enough).
+func loadTrace(path string, warmN, measN int) (warm, meas []uint64, vSpace uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer f.Close()
+	pages, err := trace.Read(f)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(pages) == 0 {
+		return nil, nil, 0, fmt.Errorf("trace %s is empty", path)
+	}
+	if len(pages) < warmN+measN {
+		warmN = len(pages) / 2
+		measN = len(pages) - warmN
+	}
+	s := trace.Summarize(pages)
+	return pages[:warmN], pages[warmN : warmN+measN], s.MaxPage + 1, nil
+}
+
+func allocName(s string) string {
+	switch s {
+	case "full", "single", "iceberg":
+		return s
+	default:
+		fail(fmt.Errorf("unknown alloc kind %q", s))
+		return ""
+	}
+}
+
+func buildWorkload(kind string, vPages uint64, warmN, measN int, hotPg uint64, hotProb, zipfS, alpha float64, gscale int, seed uint64) (warm, meas []uint64, vSpace uint64, err error) {
+	var gen workload.Generator
+	switch kind {
+	case "bimodal":
+		gen, err = workload.NewBimodal(hotPg, vPages, hotProb, seed)
+	case "graphwalk":
+		gen, err = workload.NewGraphWalk(vPages, alpha, seed)
+	case "uniform":
+		gen, err = workload.NewUniform(vPages, seed)
+	case "zipf":
+		gen, err = workload.NewZipf(vPages, zipfS, seed)
+	case "sequential":
+		gen, err = workload.NewSequential(vPages)
+	case "graph500":
+		g, gerr := graph500.Generate(graph500.Config{Scale: gscale, EdgeFactor: 16, Seed: seed})
+		if gerr != nil {
+			return nil, nil, 0, gerr
+		}
+		res, gerr := g.BFSTrace(g.HighestDegreeVertex(), graph500.DefaultLayout(), warmN+measN)
+		if gerr != nil {
+			return nil, nil, 0, gerr
+		}
+		tr := res.Trace
+		if len(tr) < warmN+measN {
+			warmN = len(tr) / 2
+			measN = len(tr) - warmN
+		}
+		return tr[:warmN], tr[warmN : warmN+measN], res.Footprint.TotalPages, nil
+	default:
+		return nil, nil, 0, fmt.Errorf("unknown workload %q", kind)
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return workload.Take(gen, warmN), workload.Take(gen, measN), 0, nil
+}
+
+func buildAlgorithm(kind string, alloc core.AllocKind, h, g, vPages, ramPages uint64,
+	tlbEntries, wBits int, tlbPol, ramPol policy.Kind, seed uint64) (mm.Algorithm, error) {
+	switch kind {
+	case "hugepage":
+		return mm.NewHugePage(mm.HugePageConfig{
+			HugePageSize: h, TLBEntries: tlbEntries, RAMPages: ramPages,
+			TLBPolicy: tlbPol, RAMPolicy: ramPol, Seed: seed,
+		})
+	case "decoupled":
+		return mm.NewDecoupled(mm.DecoupledConfig{
+			Alloc: alloc, RAMPages: ramPages, VirtualPages: vPages,
+			TLBEntries: tlbEntries, ValueBits: wBits,
+			TLBPolicy: tlbPol, RAMPolicy: ramPol, Seed: seed,
+		})
+	case "hybrid":
+		return mm.NewHybrid(mm.HybridConfig{
+			Decoupled: mm.DecoupledConfig{
+				Alloc: alloc, RAMPages: ramPages, VirtualPages: vPages,
+				TLBEntries: tlbEntries, ValueBits: wBits,
+				TLBPolicy: tlbPol, RAMPolicy: ramPol, Seed: seed,
+			},
+			GroupSize: g,
+		})
+	case "thp":
+		return mm.NewTHP(mm.THPConfig{
+			HugePageSize: h, TLBEntries: tlbEntries, RAMPages: ramPages, Seed: seed,
+		})
+	case "superpage":
+		return mm.NewSuperpage(mm.SuperpageConfig{
+			HugePageSize: h, TLBEntries: tlbEntries, RAMPages: ramPages, Seed: seed,
+		})
+	case "hawkeye":
+		return mm.NewHawkEye(mm.HawkEyeConfig{
+			HugePageSize: h, TLBEntries: tlbEntries, RAMPages: ramPages, Seed: seed,
+		})
+	case "directseg":
+		return mm.NewDirectSegment(mm.DirectSegmentConfig{
+			SegmentStart: 0, SegmentPages: ramPages / 2,
+			TLBEntries: tlbEntries, RAMPages: ramPages, Seed: seed,
+		})
+	case "coalesced":
+		return mm.NewCoalesced(mm.CoalescedConfig{
+			CoalesceLimit: 8, TLBEntries: tlbEntries,
+			RAMPages: ramPages, VirtualPages: vPages, Seed: seed,
+		})
+	case "nested":
+		return mm.NewNested(mm.NestedConfig{
+			GuestHugePageSize: h, HostHugePageSize: 1,
+			GuestTLBEntries: tlbEntries, HostTLBEntries: tlbEntries,
+			RAMPages: ramPages, Seed: seed,
+		})
+	case "tlb-only":
+		return mm.NewTLBOnly(h, tlbEntries, tlbPol, seed)
+	case "ram-only":
+		return mm.NewRAMOnly(ramPages, ramPol, seed)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", kind)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "atsim: %v\n", err)
+	os.Exit(1)
+}

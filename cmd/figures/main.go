@@ -1,0 +1,133 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (and the theorem-shape experiments). See DESIGN.md §3 for the
+// experiment index.
+//
+// Usage:
+//
+//	figures                      # run everything at the scaled defaults
+//	figures -fig f1a             # one experiment
+//	figures -full                # paper-scale dimensions (slow)
+//	figures -format csv -out dir # write one CSV per experiment into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"addrxlat/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "experiment id: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|all")
+		full   = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+		format = flag.String("format", "tsv", "output format: tsv|csv")
+		outDir = flag.String("out", "", "write one file per experiment into this directory (default stdout)")
+	)
+	flag.Parse()
+
+	scale := experiments.DownScale()
+	if *full {
+		scale = experiments.PaperScale()
+	}
+
+	type runner func() (*experiments.Table, error)
+	all := []struct {
+		id  string
+		run runner
+	}{
+		{"f1a", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1aBimodal, scale, *seed) }},
+		{"f1b", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1bGraphWalk, scale, *seed) }},
+		{"f1c", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1cGraph500, scale, *seed) }},
+		{"t1", func() (*experiments.Table, error) { return experiments.Theorem1(1<<18, 3) }},
+		{"t2", func() (*experiments.Table, error) {
+			return experiments.Theorem2(32, []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}, 20000, *seed)
+		}},
+		{"t3", func() (*experiments.Table, error) { return experiments.Theorem3(1<<18, 3) }},
+		{"t4", func() (*experiments.Table, error) { return experiments.Theorem4(scale, *seed) }},
+		{"e2", func() (*experiments.Table, error) { return experiments.Equation2(64) }},
+		{"e2w", func() (*experiments.Table, error) { return experiments.CoverageVsW(1 << 32) }},
+		{"e3", func() (*experiments.Table, error) { return experiments.Policies(1024, 500000, *seed) }},
+		{"e4", func() (*experiments.Table, error) { return experiments.Adaptive(scale, *seed) }},
+		{"e5", func() (*experiments.Table, error) { return experiments.Nested(scale, *seed) }},
+		{"h1", func() (*experiments.Table, error) { return experiments.Hybrid(scale, *seed) }},
+		{"whp", func() (*experiments.Table, error) {
+			return experiments.FailureProbability([]uint{12, 14, 16, 18}, 20)
+		}},
+		{"e6", func() (*experiments.Table, error) {
+			return experiments.Tenants(1536, 4096, 2_000_000, *seed)
+		}},
+		{"e7", func() (*experiments.Table, error) { return experiments.Related(scale, *seed) }},
+		{"e8", func() (*experiments.Table, error) { return experiments.TimeShare(scale, *seed) }},
+		{"e9", func() (*experiments.Table, error) { return experiments.TLBGeometryStudy(scale, *seed) }},
+		{"e10", func() (*experiments.Table, error) {
+			return experiments.MultiCoreStudy(1536, 1<<14, 2_000_000, *seed)
+		}},
+		{"x1", func() (*experiments.Table, error) { return experiments.Crossover(scale, *seed) }},
+	}
+
+	var selected []struct {
+		id  string
+		run runner
+	}
+	if *fig == "all" {
+		selected = all
+	} else {
+		for _, e := range all {
+			if e.id == *fig {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (want one of f1a f1b f1c t1 t2 t3 t4 e2 e3 e4 e5 h1 all)\n", *fig)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range selected {
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if err := emit(tab, *format, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(tab *experiments.Table, format, outDir string) error {
+	out := os.Stdout
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outDir, tab.Name+"."+format))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch strings.ToLower(format) {
+	case "tsv":
+		if err := tab.WriteTSV(out); err != nil {
+			return err
+		}
+	case "csv":
+		if err := tab.WriteCSV(out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if outDir == "" {
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command tracegen records workload page-access traces to the binary
+// trace format, for later replay with `atsim -replay` or external tools.
+//
+// Examples:
+//
+//	tracegen -workload bimodal -n 1000000 -o bimodal.trc
+//	tracegen -workload graph500 -gscale 18 -roots 4 -o bfs.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"addrxlat/internal/graph500"
+	"addrxlat/internal/trace"
+	"addrxlat/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "bimodal", "workload: bimodal|graphwalk|uniform|zipf|sequential|graph500")
+		out     = flag.String("o", "trace.trc", "output file")
+		n       = flag.Int("n", 1_000_000, "accesses to record")
+		vPages  = flag.Uint64("vpages", 1<<20, "virtual address space, pages")
+		hotPg   = flag.Uint64("hot", 1<<14, "bimodal hot-region pages")
+		hotProb = flag.Float64("hot-prob", 0.9999, "bimodal hot probability")
+		zipfS   = flag.Float64("zipf-s", 1.1, "zipf exponent")
+		alpha   = flag.Float64("alpha", 0.01, "graphwalk Pareto alpha")
+		gscale  = flag.Int("gscale", 16, "graph500 scale")
+		roots   = flag.Int("roots", 1, "graph500 BFS root count")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var pages []uint64
+	switch *wl {
+	case "graph500":
+		g, err := graph500.Generate(graph500.Config{Scale: *gscale, EdgeFactor: 16, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		rs := g.SampleRoots(*roots, *seed+1)
+		if len(rs) == 0 {
+			fail(fmt.Errorf("graph has no usable BFS roots"))
+		}
+		res, err := g.MultiBFSTrace(rs, graph500.DefaultLayout(), *n)
+		if err != nil {
+			fail(err)
+		}
+		pages = res.Trace
+	default:
+		var gen workload.Generator
+		var err error
+		switch *wl {
+		case "bimodal":
+			gen, err = workload.NewBimodal(*hotPg, *vPages, *hotProb, *seed)
+		case "graphwalk":
+			gen, err = workload.NewGraphWalk(*vPages, *alpha, *seed)
+		case "uniform":
+			gen, err = workload.NewUniform(*vPages, *seed)
+		case "zipf":
+			gen, err = workload.NewZipf(*vPages, *zipfS, *seed)
+		case "sequential":
+			gen, err = workload.NewSequential(*vPages)
+		default:
+			err = fmt.Errorf("unknown workload %q", *wl)
+		}
+		if err != nil {
+			fail(err)
+		}
+		pages = workload.Take(gen, *n)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, pages); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d accesses to %s\n", len(pages), *out)
+	fmt.Printf("stats: %s\n", trace.Summarize(pages))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package addrxlat reproduces "Paging and the Address-Translation
+// Problem" (Bender et al., SPAA 2021): huge-page decoupling, low-
+// associativity RAM allocation with compact TLB encodings, the Simulation
+// Theorem's combined algorithm Z, and the trace-driven simulator behind
+// the paper's experiments.
+//
+// The implementation lives under internal/ (see README.md for the map);
+// the root package carries the benchmark harness that regenerates every
+// table and figure (bench_test.go). Executables are under cmd/ and
+// runnable examples under examples/.
+package addrxlat

@@ -1,0 +1,3 @@
+module addrxlat
+
+go 1.23

@@ -1,0 +1,385 @@
+// Package ballsbins implements the dynamic balls-and-bins games of the
+// paper's Section 4.
+//
+// In the game there are n bins and an oblivious adversary issuing an
+// arbitrary sequence of ball insertions and deletions (and re-insertions),
+// subject to at most m balls being present at once. A placement Rule
+// chooses a bin for each inserted ball, online (no knowledge of future
+// requests) and stably (a ball never moves once placed). The figure of
+// merit is the maximum bin load over time.
+//
+// Three rules are provided:
+//
+//   - OneChoice (k=1): ball x goes to bin h₁(x). Max load is
+//     λ + O(√(λ log n)) for λ = ω(log n)  [Raab–Steger].
+//   - Greedy[d]: ball x picks d random bins and joins the least loaded.
+//     Max load is O(λ) + log log n + O(1) [Vöcking], but the O(λ) gap
+//     forces δ = Ω(1) resource augmentation — the dead end the paper
+//     describes.
+//   - Iceberg[d] (the paper's reference [34], sketched in Section 4):
+//     d+1 hash choices. Ball x first tries its "front" bin h₁(x),
+//     inserting if that bin's front occupancy is below a threshold
+//     τ ≈ (1+ε)λ; otherwise the ball is placed via Greedy[d] on bins
+//     h₂(x),…,h_{d+1}(x), counting only back-inserted balls (Theorem 2:
+//     max load (1+o(1))λ + log log n + O(1)).
+//
+// These games model RAM-allocation schemes: bins are page buckets, balls
+// are resident virtual pages, and insertions/deletions mirror the
+// RAM-replacement policy's changes to the active set.
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+
+	"addrxlat/internal/hashutil"
+)
+
+// Rule places and removes balls in bins.
+type Rule interface {
+	// Insert places ball (identified by key) into a bin and returns the
+	// bin index. A key must not be inserted twice without an intervening
+	// Delete.
+	Insert(key uint64) (bin int)
+
+	// Delete removes the ball. It panics if the ball is absent, which
+	// would indicate a harness bug rather than a game event.
+	Delete(key uint64)
+
+	// Load returns the current number of balls in bin i.
+	Load(bin int) int
+
+	// MaxLoad returns the current maximum load over all bins.
+	MaxLoad() int
+
+	// Bins returns the number of bins n.
+	Bins() int
+
+	// Balls returns the number of balls currently present.
+	Balls() int
+
+	// Name returns a short identifier, e.g. "iceberg2".
+	Name() string
+}
+
+// maxTracker maintains the maximum of a multiset of bin loads under
+// increment/decrement, via a histogram of load values. All operations are
+// O(1) amortized (decrementing the max scans down, but only as far as loads
+// actually shrink).
+type maxTracker struct {
+	counts []int // counts[l] = number of bins with load l
+	max    int
+}
+
+func newMaxTracker(nbins int) *maxTracker {
+	t := &maxTracker{counts: make([]int, 1, 16)}
+	t.counts[0] = nbins
+	return t
+}
+
+func (t *maxTracker) inc(oldLoad int) {
+	newLoad := oldLoad + 1
+	t.counts[oldLoad]--
+	if newLoad >= len(t.counts) {
+		t.counts = append(t.counts, 0)
+	}
+	t.counts[newLoad]++
+	if newLoad > t.max {
+		t.max = newLoad
+	}
+}
+
+func (t *maxTracker) dec(oldLoad int) {
+	newLoad := oldLoad - 1
+	t.counts[oldLoad]--
+	t.counts[newLoad]++
+	for t.max > 0 && t.counts[t.max] == 0 {
+		t.max--
+	}
+}
+
+// OneChoice is the k=1 rule: each ball goes to a single hashed bin.
+type OneChoice struct {
+	fam   *hashutil.Family
+	loads []int
+	where map[uint64]int
+	track *maxTracker
+}
+
+var _ Rule = (*OneChoice)(nil)
+
+// NewOneChoice creates a one-choice game with n bins.
+func NewOneChoice(n int, seed uint64) *OneChoice {
+	if n <= 0 {
+		panic("ballsbins: bins must be positive")
+	}
+	return &OneChoice{
+		fam:   hashutil.NewFamily(seed, 1, uint64(n)),
+		loads: make([]int, n),
+		where: make(map[uint64]int),
+		track: newMaxTracker(n),
+	}
+}
+
+// Insert implements Rule.
+func (o *OneChoice) Insert(key uint64) int {
+	if _, dup := o.where[key]; dup {
+		panic(fmt.Sprintf("ballsbins: duplicate insert of key %d", key))
+	}
+	bin := int(o.fam.At(0, key))
+	o.track.inc(o.loads[bin])
+	o.loads[bin]++
+	o.where[key] = bin
+	return bin
+}
+
+// Delete implements Rule.
+func (o *OneChoice) Delete(key uint64) {
+	bin, ok := o.where[key]
+	if !ok {
+		panic(fmt.Sprintf("ballsbins: delete of absent key %d", key))
+	}
+	o.track.dec(o.loads[bin])
+	o.loads[bin]--
+	delete(o.where, key)
+}
+
+// Load implements Rule.
+func (o *OneChoice) Load(bin int) int { return o.loads[bin] }
+
+// MaxLoad implements Rule.
+func (o *OneChoice) MaxLoad() int { return o.track.max }
+
+// Bins implements Rule.
+func (o *OneChoice) Bins() int { return len(o.loads) }
+
+// Balls implements Rule.
+func (o *OneChoice) Balls() int { return len(o.where) }
+
+// Name implements Rule.
+func (o *OneChoice) Name() string { return "onechoice" }
+
+// Greedy is the Greedy[d] rule: each ball picks d bins and joins the least
+// loaded (ties broken toward the earlier hash choice, which is how
+// asymmetric tie-breaking is usually realized in simulation).
+type Greedy struct {
+	fam   *hashutil.Family
+	loads []int
+	where map[uint64]int
+	track *maxTracker
+	buf   []uint64
+}
+
+var _ Rule = (*Greedy)(nil)
+
+// NewGreedy creates a Greedy[d] game with n bins and d choices per ball.
+func NewGreedy(n, d int, seed uint64) *Greedy {
+	if n <= 0 {
+		panic("ballsbins: bins must be positive")
+	}
+	if d <= 0 {
+		panic("ballsbins: choices must be positive")
+	}
+	return &Greedy{
+		fam:   hashutil.NewFamily(seed, d, uint64(n)),
+		loads: make([]int, n),
+		where: make(map[uint64]int),
+		track: newMaxTracker(n),
+	}
+}
+
+// Insert implements Rule.
+func (g *Greedy) Insert(key uint64) int {
+	if _, dup := g.where[key]; dup {
+		panic(fmt.Sprintf("ballsbins: duplicate insert of key %d", key))
+	}
+	g.buf = g.fam.All(g.buf[:0], key)
+	best := int(g.buf[0])
+	for _, c := range g.buf[1:] {
+		if g.loads[c] < g.loads[best] {
+			best = int(c)
+		}
+	}
+	g.track.inc(g.loads[best])
+	g.loads[best]++
+	g.where[key] = best
+	return best
+}
+
+// Delete implements Rule.
+func (g *Greedy) Delete(key uint64) {
+	bin, ok := g.where[key]
+	if !ok {
+		panic(fmt.Sprintf("ballsbins: delete of absent key %d", key))
+	}
+	g.track.dec(g.loads[bin])
+	g.loads[bin]--
+	delete(g.where, key)
+}
+
+// Load implements Rule.
+func (g *Greedy) Load(bin int) int { return g.loads[bin] }
+
+// MaxLoad implements Rule.
+func (g *Greedy) MaxLoad() int { return g.track.max }
+
+// Bins implements Rule.
+func (g *Greedy) Bins() int { return len(g.loads) }
+
+// Balls implements Rule.
+func (g *Greedy) Balls() int { return len(g.where) }
+
+// Name implements Rule.
+func (g *Greedy) Name() string { return fmt.Sprintf("greedy%d", g.fam.K()) }
+
+// Iceberg is the Iceberg[d] rule of the paper's Theorem 2 (with d=2 as the
+// headline configuration). Each ball has d+1 hash choices. The first is its
+// front bin: the ball is placed there if the bin's *front* occupancy
+// (balls placed via h₁ only — footnote 4 of the paper) is below the
+// threshold. Otherwise the ball is placed by Greedy[d] over the remaining
+// choices, comparing *back* occupancies only.
+type Iceberg struct {
+	fam       *hashutil.Family
+	front     []int // per-bin count of front-inserted balls
+	back      []int // per-bin count of back-inserted balls
+	where     map[uint64]icebergSlot
+	track     *maxTracker // tracks front+back totals
+	threshold int
+	buf       []uint64
+	frontIns  uint64 // statistics: balls placed via the front rule
+	backIns   uint64 // statistics: balls placed via Greedy[d]
+}
+
+type icebergSlot struct {
+	bin   int
+	front bool
+}
+
+var _ Rule = (*Iceberg)(nil)
+
+// NewIceberg creates an Iceberg[d] game with n bins, d+1 hash choices, and
+// the given front threshold. The paper takes threshold ≈ (1+o(1))λ where
+// λ = m/n is the average load; DefaultThreshold computes a suitable value.
+func NewIceberg(n, d int, threshold int, seed uint64) *Iceberg {
+	if n <= 0 {
+		panic("ballsbins: bins must be positive")
+	}
+	if d <= 0 {
+		panic("ballsbins: d must be positive")
+	}
+	if threshold <= 0 {
+		panic("ballsbins: threshold must be positive")
+	}
+	return &Iceberg{
+		fam:       hashutil.NewFamily(seed, d+1, uint64(n)),
+		front:     make([]int, n),
+		back:      make([]int, n),
+		where:     make(map[uint64]icebergSlot),
+		track:     newMaxTracker(n),
+		threshold: threshold,
+	}
+}
+
+// DefaultThreshold returns the front-bin threshold used by the paper's
+// construction for maximum ball count m over n bins: (1+ε)·λ with a small
+// ε and a +O(1) floor so tiny configurations still work.
+func DefaultThreshold(m, n int) int {
+	if n <= 0 {
+		panic("ballsbins: n must be positive")
+	}
+	lambda := float64(m) / float64(n)
+	t := int(math.Ceil(lambda * 1.05))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Insert implements Rule.
+func (ib *Iceberg) Insert(key uint64) int {
+	if _, dup := ib.where[key]; dup {
+		panic(fmt.Sprintf("ballsbins: duplicate insert of key %d", key))
+	}
+	frontBin := int(ib.fam.At(0, key))
+	if ib.front[frontBin] < ib.threshold {
+		ib.track.inc(ib.front[frontBin] + ib.back[frontBin])
+		ib.front[frontBin]++
+		ib.where[key] = icebergSlot{bin: frontBin, front: true}
+		ib.frontIns++
+		return frontBin
+	}
+	// Greedy[d] over the back choices, comparing back occupancy only.
+	best := int(ib.fam.At(1, key))
+	for i := 2; i <= ib.d(); i++ {
+		c := int(ib.fam.At(i, key))
+		if ib.back[c] < ib.back[best] {
+			best = c
+		}
+	}
+	ib.track.inc(ib.front[best] + ib.back[best])
+	ib.back[best]++
+	ib.where[key] = icebergSlot{bin: best, front: false}
+	ib.backIns++
+	return best
+}
+
+// d returns the number of back choices.
+func (ib *Iceberg) d() int { return ib.fam.K() - 1 }
+
+// Delete implements Rule.
+func (ib *Iceberg) Delete(key uint64) {
+	slot, ok := ib.where[key]
+	if !ok {
+		panic(fmt.Sprintf("ballsbins: delete of absent key %d", key))
+	}
+	ib.track.dec(ib.front[slot.bin] + ib.back[slot.bin])
+	if slot.front {
+		ib.front[slot.bin]--
+	} else {
+		ib.back[slot.bin]--
+	}
+	delete(ib.where, key)
+}
+
+// Load implements Rule.
+func (ib *Iceberg) Load(bin int) int { return ib.front[bin] + ib.back[bin] }
+
+// FrontLoad returns the number of front-inserted balls in bin.
+func (ib *Iceberg) FrontLoad(bin int) int { return ib.front[bin] }
+
+// BackLoad returns the number of back-inserted balls in bin.
+func (ib *Iceberg) BackLoad(bin int) int { return ib.back[bin] }
+
+// MaxBackLoad returns the maximum back occupancy over all bins. Theorem 2's
+// analysis bounds this by log log n + O(1); exposed for experiments.
+func (ib *Iceberg) MaxBackLoad() int {
+	max := 0
+	for _, b := range ib.back {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxLoad implements Rule.
+func (ib *Iceberg) MaxLoad() int { return ib.track.max }
+
+// Bins implements Rule.
+func (ib *Iceberg) Bins() int { return len(ib.front) }
+
+// Balls implements Rule.
+func (ib *Iceberg) Balls() int { return len(ib.where) }
+
+// Threshold returns the front-bin threshold.
+func (ib *Iceberg) Threshold() int { return ib.threshold }
+
+// FrontInsertions and BackInsertions report how many inserts took each path
+// over the lifetime of the game.
+func (ib *Iceberg) FrontInsertions() uint64 { return ib.frontIns }
+
+// BackInsertions reports the number of Greedy[d]-path insertions.
+func (ib *Iceberg) BackInsertions() uint64 { return ib.backIns }
+
+// Name implements Rule.
+func (ib *Iceberg) Name() string { return fmt.Sprintf("iceberg%d", ib.d()) }

@@ -1,0 +1,390 @@
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"addrxlat/internal/hashutil"
+)
+
+func allRules(n int, seed uint64, m int) []Rule {
+	return []Rule{
+		NewOneChoice(n, seed),
+		NewGreedy(n, 2, seed),
+		NewGreedy(n, 3, seed),
+		NewIceberg(n, 2, DefaultThreshold(m, n), seed),
+	}
+}
+
+// TestConservation checks that loads sum to the ball count and that
+// insert/delete round-trips restore state, for every rule.
+func TestConservation(t *testing.T) {
+	const n, m = 64, 512
+	for _, r := range allRules(n, 1, m) {
+		t.Run(r.Name(), func(t *testing.T) {
+			rng := hashutil.NewRNG(2)
+			live := map[uint64]bool{}
+			var nextKey uint64
+			for step := 0; step < 10000; step++ {
+				if len(live) == 0 || (len(live) < m && rng.Float64() < 0.6) {
+					k := nextKey
+					nextKey++
+					bin := r.Insert(k)
+					if bin < 0 || bin >= n {
+						t.Fatalf("Insert returned bin %d out of range", bin)
+					}
+					live[k] = true
+				} else {
+					// Delete an arbitrary live key.
+					var k uint64
+					for k = range live {
+						break
+					}
+					r.Delete(k)
+					delete(live, k)
+				}
+				if r.Balls() != len(live) {
+					t.Fatalf("step %d: Balls=%d want %d", step, r.Balls(), len(live))
+				}
+			}
+			total := 0
+			maxSeen := 0
+			for b := 0; b < n; b++ {
+				l := r.Load(b)
+				if l < 0 {
+					t.Fatalf("negative load %d in bin %d", l, b)
+				}
+				total += l
+				if l > maxSeen {
+					maxSeen = l
+				}
+			}
+			if total != len(live) {
+				t.Fatalf("loads sum to %d, want %d", total, len(live))
+			}
+			if r.MaxLoad() != maxSeen {
+				t.Fatalf("MaxLoad=%d, scan says %d", r.MaxLoad(), maxSeen)
+			}
+		})
+	}
+}
+
+// TestStability: re-inserting the same key after deletion must land in the
+// same bin for OneChoice (deterministic single hash). For multi-choice
+// rules the bin may differ, but must be among the key's hash choices.
+func TestStability(t *testing.T) {
+	o := NewOneChoice(128, 7)
+	bin1 := o.Insert(42)
+	o.Delete(42)
+	bin2 := o.Insert(42)
+	if bin1 != bin2 {
+		t.Fatalf("OneChoice re-insert moved ball: %d -> %d", bin1, bin2)
+	}
+}
+
+func TestGreedyPicksLeastLoaded(t *testing.T) {
+	// With 2 bins and d=2, greedy must always pick the lighter bin
+	// (both hash choices cover both bins often enough to verify).
+	g := NewGreedy(2, 2, 3)
+	fam := hashutil.NewFamily(3, 2, 2)
+	for k := uint64(0); k < 100; k++ {
+		c0, c1 := int(fam.At(0, k)), int(fam.At(1, k))
+		l0, l1 := g.Load(c0), g.Load(c1)
+		bin := g.Insert(k)
+		want := c0
+		if l1 < l0 {
+			want = c1
+		}
+		if bin != want {
+			t.Fatalf("key %d: choices (%d:%d, %d:%d), inserted into %d want %d",
+				k, c0, l0, c1, l1, bin, want)
+		}
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	for _, r := range allRules(16, 1, 64) {
+		t.Run(r.Name(), func(t *testing.T) {
+			r.Insert(5)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("duplicate insert should panic")
+				}
+			}()
+			r.Insert(5)
+		})
+	}
+}
+
+func TestDeleteAbsentPanics(t *testing.T) {
+	for _, r := range allRules(16, 1, 64) {
+		t.Run(r.Name(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("delete of absent key should panic")
+				}
+			}()
+			r.Delete(999)
+		})
+	}
+}
+
+func TestMaxTracker(t *testing.T) {
+	// Exercise the histogram max tracker directly against a brute force.
+	n := 8
+	tr := newMaxTracker(n)
+	loads := make([]int, n)
+	rng := hashutil.NewRNG(5)
+	brute := func() int {
+		m := 0
+		for _, l := range loads {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	for step := 0; step < 50000; step++ {
+		b := rng.Intn(n)
+		if loads[b] > 0 && rng.Float64() < 0.5 {
+			tr.dec(loads[b])
+			loads[b]--
+		} else {
+			tr.inc(loads[b])
+			loads[b]++
+		}
+		if tr.max != brute() {
+			t.Fatalf("step %d: tracker max %d, brute %d", step, tr.max, brute())
+		}
+	}
+}
+
+// TestIcebergFrontPath: with an empty game every insert should take the
+// front path until the front bin reaches threshold.
+func TestIcebergFrontPath(t *testing.T) {
+	ib := NewIceberg(4, 2, 3, 9)
+	// Insert keys that all front-hash to the same bin? We can't force that
+	// without knowing the hash, so instead insert until some bin's front
+	// count reaches the threshold and verify it never exceeds it.
+	for k := uint64(0); k < 1000; k++ {
+		ib.Insert(k)
+	}
+	for b := 0; b < 4; b++ {
+		if ib.FrontLoad(b) > 3 {
+			t.Fatalf("bin %d front load %d exceeds threshold 3", b, ib.FrontLoad(b))
+		}
+	}
+	if ib.FrontInsertions()+ib.BackInsertions() != 1000 {
+		t.Fatalf("insert paths don't sum: front=%d back=%d",
+			ib.FrontInsertions(), ib.BackInsertions())
+	}
+	if ib.FrontInsertions() != 4*3 {
+		t.Fatalf("front insertions = %d, want 12 (4 bins × threshold 3)", ib.FrontInsertions())
+	}
+}
+
+func TestIcebergLoadDecomposition(t *testing.T) {
+	ib := NewIceberg(8, 2, 2, 11)
+	for k := uint64(0); k < 200; k++ {
+		ib.Insert(k)
+	}
+	for b := 0; b < 8; b++ {
+		if ib.Load(b) != ib.FrontLoad(b)+ib.BackLoad(b) {
+			t.Fatalf("bin %d: Load %d != front %d + back %d",
+				b, ib.Load(b), ib.FrontLoad(b), ib.BackLoad(b))
+		}
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	if th := DefaultThreshold(1000, 100); th < 10 || th > 12 {
+		t.Fatalf("DefaultThreshold(1000,100) = %d, want ≈ 10–12", th)
+	}
+	if th := DefaultThreshold(1, 100); th != 1 {
+		t.Fatalf("DefaultThreshold floor: got %d want 1", th)
+	}
+}
+
+// TestOneChoiceMaxLoadShape: at high average load λ = ω(log n), the
+// one-choice max load should be λ + O(√(λ ln n)) — check the additive gap
+// stays within a constant factor of √(λ ln n).
+func TestOneChoiceMaxLoadShape(t *testing.T) {
+	const n = 256
+	const lambda = 64
+	const m = n * lambda
+	o := NewOneChoice(n, 13)
+	g := NewGame(o, m, 14)
+	g.Fill()
+	gap := float64(o.MaxLoad() - lambda)
+	bound := 4 * math.Sqrt(lambda*math.Log(n))
+	if gap < 0 {
+		t.Fatalf("max load %d below average %d — impossible", o.MaxLoad(), lambda)
+	}
+	if gap > bound {
+		t.Fatalf("one-choice gap %v exceeds 4√(λ ln n) = %v", gap, bound)
+	}
+}
+
+// TestIcebergBeatsOneChoice is the Theorem 2 shape check: under churn at
+// the same λ, Iceberg[2]'s peak load should stay strictly below
+// one-choice's, and within (1+o(1))λ + log log n + O(1).
+func TestIcebergBeatsOneChoice(t *testing.T) {
+	const n = 512
+	const lambda = 32
+	const m = n * lambda
+	const churn = 20000
+
+	one := NewGame(NewOneChoice(n, 100), m, 200)
+	one.Churn(churn)
+
+	th := DefaultThreshold(m, n)
+	ice := NewGame(NewIceberg(n, 2, th, 100), m, 200)
+	ice.Churn(churn)
+
+	if ice.PeakLoad() >= one.PeakLoad() {
+		t.Fatalf("Iceberg peak %d should beat one-choice peak %d",
+			ice.PeakLoad(), one.PeakLoad())
+	}
+	// (1+o(1))λ + log log n + O(1): allow threshold + loglog n + 6.
+	bound := th + int(math.Log2(math.Log2(n))) + 6
+	if ice.PeakLoad() > bound {
+		t.Fatalf("Iceberg peak %d exceeds theoretical-shape bound %d", ice.PeakLoad(), bound)
+	}
+}
+
+// TestIcebergBackLoadSmall: the Greedy[2] back-insertions should contribute
+// only ~log log n to any bin.
+func TestIcebergBackLoadSmall(t *testing.T) {
+	const n = 1024
+	const lambda = 16
+	const m = n * lambda
+	ib := NewIceberg(n, 2, DefaultThreshold(m, n), 17)
+	g := NewGame(ib, m, 18)
+	g.Churn(30000)
+	back := ib.MaxBackLoad()
+	bound := int(math.Log2(math.Log2(n))) + 5
+	if back > bound {
+		t.Fatalf("max back load %d exceeds log log n + O(1) shape bound %d", back, bound)
+	}
+}
+
+func TestGameChurnKeepsCount(t *testing.T) {
+	g := NewGame(NewGreedy(32, 2, 1), 100, 2)
+	g.Churn(1000)
+	if g.Rule().Balls() != 100 {
+		t.Fatalf("after churn Balls=%d, want 100", g.Rule().Balls())
+	}
+	g.ChurnReinsert(1000)
+	if g.Rule().Balls() != 100 {
+		t.Fatalf("after reinsert-churn Balls=%d, want 100", g.Rule().Balls())
+	}
+	if g.PeakLoad() < 100/32 {
+		t.Fatalf("peak load %d below average load", g.PeakLoad())
+	}
+	if g.MeanMaxLoad() <= 0 || g.MeanMaxLoad() > float64(g.PeakLoad()) {
+		t.Fatalf("mean max load %v inconsistent with peak %d", g.MeanMaxLoad(), g.PeakLoad())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := NewGame(NewIceberg(16, 2, 4, 3), 64, 4)
+	g.Churn(100)
+	res := g.Summarize()
+	if res.Rule != "iceberg2" {
+		t.Errorf("Rule = %q", res.Rule)
+	}
+	if res.Bins != 16 || res.Balls != 64 {
+		t.Errorf("Bins/Balls = %d/%d", res.Bins, res.Balls)
+	}
+	if math.Abs(res.AvgLoad-4.0) > 1e-9 {
+		t.Errorf("AvgLoad = %v, want 4", res.AvgLoad)
+	}
+	if res.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestQuickConservation is a property test: any interleaving of inserts and
+// deletes keeps the total load equal to the live-ball count.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed uint64, ops []bool) bool {
+		r := NewIceberg(8, 2, 2, seed)
+		live := []uint64{}
+		var next uint64
+		for _, ins := range ops {
+			if ins || len(live) == 0 {
+				r.Insert(next)
+				live = append(live, next)
+				next++
+			} else {
+				k := live[len(live)-1]
+				live = live[:len(live)-1]
+				r.Delete(k)
+			}
+		}
+		total := 0
+		for b := 0; b < 8; b++ {
+			total += r.Load(b)
+		}
+		return total == len(live) && r.Balls() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"onechoice n=0", func() { NewOneChoice(0, 1) }},
+		{"greedy n=0", func() { NewGreedy(0, 2, 1) }},
+		{"greedy d=0", func() { NewGreedy(4, 0, 1) }},
+		{"iceberg n=0", func() { NewIceberg(0, 2, 1, 1) }},
+		{"iceberg d=0", func() { NewIceberg(4, 0, 1, 1) }},
+		{"iceberg th=0", func() { NewIceberg(4, 2, 0, 1) }},
+		{"game m=0", func() { NewGame(NewOneChoice(4, 1), 0, 1) }},
+		{"threshold n=0", func() { DefaultThreshold(10, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		rule func() Rule
+	}{
+		{"onechoice", func() Rule { return NewOneChoice(1<<12, 1) }},
+		{"greedy2", func() Rule { return NewGreedy(1<<12, 2, 1) }},
+		{"iceberg2", func() Rule { return NewIceberg(1<<12, 2, 18, 1) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			r := mk.rule()
+			const window = 1 << 16
+			for k := uint64(0); k < window; k++ {
+				r.Insert(k)
+			}
+			b.ResetTimer()
+			// Sliding window: at step i delete key i (inserted window
+			// steps earlier) and insert key i+window.
+			for i := 0; i < b.N; i++ {
+				r.Delete(uint64(i))
+				r.Insert(uint64(i) + window)
+			}
+			b.StopTimer()
+			_ = fmt.Sprint(r.MaxLoad())
+		})
+	}
+}

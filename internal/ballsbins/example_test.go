@@ -1,0 +1,29 @@
+package ballsbins_test
+
+import (
+	"fmt"
+
+	"addrxlat/internal/ballsbins"
+)
+
+// ExampleIceberg runs the Iceberg[2] rule under churn and shows its peak
+// load staying near the average load λ, unlike one-choice hashing.
+func ExampleIceberg() {
+	const bins, lambda = 1024, 32
+	const balls = bins * lambda
+
+	ice := ballsbins.NewIceberg(bins, 2, ballsbins.DefaultThreshold(balls, bins), 1)
+	game := ballsbins.NewGame(ice, balls, 2)
+	game.Churn(5000)
+
+	one := ballsbins.NewOneChoice(bins, 1)
+	game2 := ballsbins.NewGame(one, balls, 2)
+	game2.Churn(5000)
+
+	fmt.Println("iceberg stays tighter than one-choice:",
+		game.PeakLoad() < game2.PeakLoad())
+	fmt.Println("iceberg gap under 16:", game.PeakLoad()-lambda < 16)
+	// Output:
+	// iceberg stays tighter than one-choice: true
+	// iceberg gap under 16: true
+}

@@ -1,0 +1,159 @@
+package ballsbins
+
+import (
+	"fmt"
+
+	"addrxlat/internal/hashutil"
+)
+
+// Game drives a Rule with an adversarial insert/delete workload and records
+// load statistics over time. It is the experiment harness for Theorem 2:
+// the adversary is oblivious (its choices are a function of its own RNG,
+// never of the rule's placements).
+type Game struct {
+	rule    Rule
+	maxBall int
+	rng     *hashutil.RNG
+	live    []uint64 // dense set of live ball keys
+	nextKey uint64
+
+	// Statistics.
+	peak       int     // max over time of MaxLoad()
+	samples    uint64  // number of post-op samples taken
+	sumMaxLoad float64 // running sum of MaxLoad() samples for averaging
+}
+
+// NewGame wraps rule in a churn harness allowing at most maxBalls live
+// balls, with adversary randomness drawn from seed.
+func NewGame(rule Rule, maxBalls int, seed uint64) *Game {
+	if maxBalls <= 0 {
+		panic("ballsbins: maxBalls must be positive")
+	}
+	return &Game{
+		rule:    rule,
+		maxBall: maxBalls,
+		rng:     hashutil.NewRNG(seed),
+		live:    make([]uint64, 0, maxBalls),
+	}
+}
+
+// Fill inserts balls until the game holds exactly its maximum count.
+func (g *Game) Fill() {
+	for g.rule.Balls() < g.maxBall {
+		g.insertFresh()
+	}
+	g.sample()
+}
+
+// insertFresh inserts a never-before-seen key.
+func (g *Game) insertFresh() {
+	key := g.nextKey
+	g.nextKey++
+	g.rule.Insert(key)
+	g.live = append(g.live, key)
+}
+
+// deleteRandom removes a uniformly random live ball.
+func (g *Game) deleteRandom() {
+	i := g.rng.Intn(len(g.live))
+	key := g.live[i]
+	g.live[i] = g.live[len(g.live)-1]
+	g.live = g.live[:len(g.live)-1]
+	g.rule.Delete(key)
+}
+
+// Churn performs steps alternating random deletions with fresh insertions
+// while holding the ball count at the maximum — the dynamic setting of
+// Theorem 2. Each step deletes one random ball and inserts one fresh ball.
+func (g *Game) Churn(steps int) {
+	if g.rule.Balls() < g.maxBall {
+		g.Fill()
+	}
+	for s := 0; s < steps; s++ {
+		g.deleteRandom()
+		g.insertFresh()
+		g.sample()
+	}
+}
+
+// ChurnReinsert is like Churn but re-inserts previously deleted keys with
+// probability 1/2, exercising the "perhaps re-insertions" clause of the
+// game definition. Re-inserted keys hash identically to their first life,
+// which is what stresses stable placement rules.
+func (g *Game) ChurnReinsert(steps int) {
+	if g.rule.Balls() < g.maxBall {
+		g.Fill()
+	}
+	var graveyard []uint64
+	for s := 0; s < steps; s++ {
+		i := g.rng.Intn(len(g.live))
+		key := g.live[i]
+		g.live[i] = g.live[len(g.live)-1]
+		g.live = g.live[:len(g.live)-1]
+		g.rule.Delete(key)
+		graveyard = append(graveyard, key)
+
+		if len(graveyard) > 0 && g.rng.Float64() < 0.5 {
+			j := g.rng.Intn(len(graveyard))
+			k := graveyard[j]
+			graveyard[j] = graveyard[len(graveyard)-1]
+			graveyard = graveyard[:len(graveyard)-1]
+			g.rule.Insert(k)
+			g.live = append(g.live, k)
+		} else {
+			g.insertFresh()
+		}
+		g.sample()
+	}
+}
+
+func (g *Game) sample() {
+	m := g.rule.MaxLoad()
+	if m > g.peak {
+		g.peak = m
+	}
+	g.samples++
+	g.sumMaxLoad += float64(m)
+}
+
+// PeakLoad returns the maximum bin load observed at any sample point.
+func (g *Game) PeakLoad() int { return g.peak }
+
+// MeanMaxLoad returns the time-average of the maximum load.
+func (g *Game) MeanMaxLoad() float64 {
+	if g.samples == 0 {
+		return 0
+	}
+	return g.sumMaxLoad / float64(g.samples)
+}
+
+// Rule returns the underlying placement rule.
+func (g *Game) Rule() Rule { return g.rule }
+
+// Result summarizes one game run for experiment tables.
+type Result struct {
+	Rule        string
+	Bins        int
+	Balls       int
+	AvgLoad     float64 // λ = m/n
+	PeakLoad    int
+	MeanMaxLoad float64
+}
+
+// String renders the result as a TSV-ish row for experiment output.
+func (r Result) String() string {
+	return fmt.Sprintf("%s\tn=%d\tm=%d\tλ=%.2f\tpeak=%d\tmean_max=%.2f",
+		r.Rule, r.Bins, r.Balls, r.AvgLoad, r.PeakLoad, r.MeanMaxLoad)
+}
+
+// Summarize returns the game's result record.
+func (g *Game) Summarize() Result {
+	return Result{
+		Rule:        g.rule.Name(),
+		Bins:        g.rule.Bins(),
+		Balls:       g.maxBall,
+		AvgLoad:     float64(g.maxBall) / float64(g.rule.Bins()),
+		PeakLoad:    g.peak,
+		MeanMaxLoad: g.MeanMaxLoad(),
+	}
+}

@@ -1,0 +1,61 @@
+package ballsbins
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LoadHistogram returns counts[l] = number of bins currently holding
+// exactly l balls, for l in [0, MaxLoad()].
+func LoadHistogram(r Rule) []int {
+	counts := make([]int, r.MaxLoad()+1)
+	for b := 0; b < r.Bins(); b++ {
+		counts[r.Load(b)]++
+	}
+	return counts
+}
+
+// FormatHistogram renders a load histogram as an ASCII bar chart, scaled
+// to the given width. Empty load levels in the middle are kept so the
+// shape reads correctly; the output is used by cmd/ballsbins -hist.
+func FormatHistogram(counts []int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty)\n"
+	}
+	var sb strings.Builder
+	for load, c := range counts {
+		bar := c * width / max
+		fmt.Fprintf(&sb, "%4d | %-*s %d\n", load, width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Quantile returns the smallest load l such that at least q (0 < q ≤ 1)
+// of the bins have load ≤ l.
+func Quantile(r Rule, q float64) int {
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("ballsbins: quantile %v outside (0,1]", q))
+	}
+	counts := LoadHistogram(r)
+	need := int(q * float64(r.Bins()))
+	if need < 1 {
+		need = 1
+	}
+	cum := 0
+	for load, c := range counts {
+		cum += c
+		if cum >= need {
+			return load
+		}
+	}
+	return len(counts) - 1
+}

@@ -1,0 +1,78 @@
+package ballsbins
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadHistogram(t *testing.T) {
+	r := NewOneChoice(64, 1)
+	for k := uint64(0); k < 256; k++ {
+		r.Insert(k)
+	}
+	counts := LoadHistogram(r)
+	if len(counts) != r.MaxLoad()+1 {
+		t.Fatalf("histogram length %d, max load %d", len(counts), r.MaxLoad())
+	}
+	totalBins, totalBalls := 0, 0
+	for load, c := range counts {
+		totalBins += c
+		totalBalls += load * c
+	}
+	if totalBins != 64 {
+		t.Fatalf("histogram covers %d bins, want 64", totalBins)
+	}
+	if totalBalls != 256 {
+		t.Fatalf("histogram weighs %d balls, want 256", totalBalls)
+	}
+}
+
+func TestFormatHistogram(t *testing.T) {
+	out := FormatHistogram([]int{1, 5, 2}, 10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("peak bar missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if FormatHistogram(nil, 10) != "(empty)\n" {
+		t.Fatal("empty histogram misrendered")
+	}
+	if FormatHistogram([]int{3}, 0) == "" {
+		t.Fatal("zero width should default, not vanish")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewIceberg(128, 2, 8, 3)
+	for k := uint64(0); k < 1024; k++ {
+		r.Insert(k)
+	}
+	med := Quantile(r, 0.5)
+	p999 := Quantile(r, 0.999)
+	if med > p999 {
+		t.Fatalf("median %d above p99.9 %d", med, p999)
+	}
+	if p999 > r.MaxLoad() {
+		t.Fatalf("p99.9 %d above max %d", p999, r.MaxLoad())
+	}
+	if got := Quantile(r, 1); got != r.MaxLoad() {
+		t.Fatalf("q=1 gives %d, want max load %d", got, r.MaxLoad())
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	r := NewOneChoice(4, 1)
+	for _, q := range []float64{0, -0.5, 1.5} {
+		q := q
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("quantile %v should panic", q)
+				}
+			}()
+			Quantile(r, q)
+		}()
+	}
+}

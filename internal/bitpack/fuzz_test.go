@@ -1,0 +1,43 @@
+package bitpack
+
+import "testing"
+
+// FuzzFieldArray drives random (width, index, value) operations against a
+// plain-slice model; the packed array must agree with the model at every
+// step and never corrupt neighbors.
+func FuzzFieldArray(f *testing.F) {
+	f.Add(uint8(5), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint8(63), []byte{0xff, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, widthRaw uint8, ops []byte) {
+		width := uint(widthRaw%64) + 1
+		const n = 24
+		arr := NewFieldArray(n, width)
+		model := make([]uint64, n)
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = (1 << width) - 1
+		}
+		var acc uint64
+		for i, b := range ops {
+			acc = acc*131 + uint64(b)
+			idx := int(uint(b) % n)
+			val := acc & mask
+			arr.Set(idx, val)
+			model[idx] = val
+			// Spot-check one other slot per op plus the written slot.
+			check := (idx + i) % n
+			if arr.Get(idx) != model[idx] {
+				t.Fatalf("op %d: Get(%d) = %d, model %d", i, idx, arr.Get(idx), model[idx])
+			}
+			if arr.Get(check) != model[check] {
+				t.Fatalf("op %d: neighbor %d corrupted: %d != %d",
+					i, check, arr.Get(check), model[check])
+			}
+		}
+		for i := range model {
+			if arr.Get(i) != model[i] {
+				t.Fatalf("final state: field %d = %d, model %d", i, arr.Get(i), model[i])
+			}
+		}
+	})
+}

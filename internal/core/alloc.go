@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Allocator is a RAM-allocation scheme (Section 3): it assigns each page
+// fetched by the RAM-replacement policy a stable physical address, chosen
+// from a limited set of candidate locations, and produces the compact
+// per-page location code the TLB-encoding scheme stores.
+//
+// The code space is [0, CodeBound()); the value CodeBound() itself is
+// reserved by the encoding layer as the "absent" sentinel. Decode maps a
+// (virtual page, code) pair back to the physical address, using only the
+// scheme's fixed random bits — it is the per-page core of the paper's
+// TLB-decoding function f.
+type Allocator interface {
+	// Assign chooses a stable physical location for virtual page v and
+	// returns its code. ok is false on a paging failure (every candidate
+	// location occupied) — the paper's F-set event. Assigning a page
+	// already assigned (and not released) panics: the RAM-replacement
+	// policy contract makes that impossible.
+	Assign(v uint64) (code uint64, ok bool)
+
+	// Release frees the location held by v. It panics if v holds none.
+	Release(v uint64)
+
+	// PhysOf returns the physical page address φ(v), if assigned.
+	PhysOf(v uint64) (uint64, bool)
+
+	// Decode returns the physical address encoded by code for virtual
+	// page v. The result is unspecified (but never a panic) if code is
+	// not the value Assign returned for v's current residence.
+	Decode(v uint64, code uint64) uint64
+
+	// CodeBound returns the exclusive upper bound of the code space.
+	CodeBound() uint64
+
+	// Associativity returns how many physical locations each page can
+	// occupy — the scheme's associativity (k·B for bucketed schemes).
+	Associativity() uint64
+
+	// Resident returns the number of pages currently assigned.
+	Resident() uint64
+
+	// Name identifies the scheme.
+	Name() string
+}
+
+// NewAllocator constructs the allocator selected by p.Kind, with hash
+// randomness drawn from seed.
+func NewAllocator(p Params, seed uint64) (Allocator, error) {
+	switch p.Kind {
+	case FullyAssociative:
+		return NewFullAllocator(p.P), nil
+	case SingleChoice:
+		return NewBucketAllocator(p, seed)
+	case IcebergAlloc:
+		return NewIcebergAllocator(p, seed)
+	default:
+		return nil, fmt.Errorf("core: unknown allocation kind %q", p.Kind)
+	}
+}
+
+// FullAllocator is the fully associative baseline: any page can occupy any
+// physical frame, codes are full physical addresses. It never fails while
+// fewer than P pages are resident.
+type FullAllocator struct {
+	p        uint64
+	freeList []uint64
+	phys     map[uint64]uint64 // virtual -> physical
+}
+
+var _ Allocator = (*FullAllocator)(nil)
+
+// NewFullAllocator creates a fully associative allocator over P frames.
+func NewFullAllocator(P uint64) *FullAllocator {
+	if P == 0 {
+		panic("core: P must be positive")
+	}
+	f := &FullAllocator{
+		p:        P,
+		freeList: make([]uint64, 0, P),
+		phys:     make(map[uint64]uint64),
+	}
+	// Stack the free list so frame 0 is handed out first.
+	for i := P; i > 0; i-- {
+		f.freeList = append(f.freeList, i-1)
+	}
+	return f
+}
+
+// Assign implements Allocator.
+func (f *FullAllocator) Assign(v uint64) (uint64, bool) {
+	if _, dup := f.phys[v]; dup {
+		panic(fmt.Sprintf("core: double Assign of page %d", v))
+	}
+	if len(f.freeList) == 0 {
+		return 0, false
+	}
+	frame := f.freeList[len(f.freeList)-1]
+	f.freeList = f.freeList[:len(f.freeList)-1]
+	f.phys[v] = frame
+	return frame, true
+}
+
+// Release implements Allocator.
+func (f *FullAllocator) Release(v uint64) {
+	frame, ok := f.phys[v]
+	if !ok {
+		panic(fmt.Sprintf("core: Release of unassigned page %d", v))
+	}
+	delete(f.phys, v)
+	f.freeList = append(f.freeList, frame)
+}
+
+// PhysOf implements Allocator.
+func (f *FullAllocator) PhysOf(v uint64) (uint64, bool) {
+	frame, ok := f.phys[v]
+	return frame, ok
+}
+
+// Decode implements Allocator. For the fully associative scheme the code
+// is the physical address itself.
+func (f *FullAllocator) Decode(_ uint64, code uint64) uint64 { return code }
+
+// CodeBound implements Allocator.
+func (f *FullAllocator) CodeBound() uint64 { return f.p }
+
+// Associativity implements Allocator.
+func (f *FullAllocator) Associativity() uint64 { return f.p }
+
+// Resident implements Allocator.
+func (f *FullAllocator) Resident() uint64 { return uint64(len(f.phys)) }
+
+// Name implements Allocator.
+func (f *FullAllocator) Name() string { return string(FullyAssociative) }
+
+// bucketSpace is the shared slot bookkeeping for bucketed allocators:
+// n buckets of B slots each, with per-bucket occupancy bitmaps.
+type bucketSpace struct {
+	nBuckets uint64
+	B        int
+	wordsPer int      // bitmap words per bucket
+	bitmap   []uint64 // occupancy bits, bucket-major
+	counts   []int    // occupied slots per bucket
+}
+
+func newBucketSpace(nBuckets uint64, B int) *bucketSpace {
+	wordsPer := (B + 63) / 64
+	return &bucketSpace{
+		nBuckets: nBuckets,
+		B:        B,
+		wordsPer: wordsPer,
+		bitmap:   make([]uint64, wordsPer*int(nBuckets)),
+		counts:   make([]int, nBuckets),
+	}
+}
+
+// takeSlot claims the lowest free slot in bucket, returning its index, or
+// -1 if the bucket is full.
+func (s *bucketSpace) takeSlot(bucket uint64) int {
+	if s.counts[bucket] >= s.B {
+		return -1
+	}
+	base := int(bucket) * s.wordsPer
+	for w := 0; w < s.wordsPer; w++ {
+		word := s.bitmap[base+w]
+		if word == ^uint64(0) {
+			continue
+		}
+		bit := bits.TrailingZeros64(^word)
+		slot := w*64 + bit
+		if slot >= s.B {
+			break
+		}
+		s.bitmap[base+w] = word | 1<<uint(bit)
+		s.counts[bucket]++
+		return slot
+	}
+	return -1
+}
+
+// freeSlot releases a slot in bucket. It panics if the slot was free —
+// that indicates corrupted bookkeeping, never a legitimate game event.
+func (s *bucketSpace) freeSlot(bucket uint64, slot int) {
+	idx := int(bucket)*s.wordsPer + slot/64
+	mask := uint64(1) << uint(slot%64)
+	if s.bitmap[idx]&mask == 0 {
+		panic(fmt.Sprintf("core: double free of bucket %d slot %d", bucket, slot))
+	}
+	s.bitmap[idx] &^= mask
+	s.counts[bucket]--
+}
+
+// load returns the occupied-slot count of bucket.
+func (s *bucketSpace) load(bucket uint64) int { return s.counts[bucket] }

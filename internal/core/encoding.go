@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"addrxlat/internal/bitpack"
+)
+
+// NullAddress is the paper's −1: the value the decoding function f returns
+// for a virtual page that is not in the active set.
+const NullAddress = ^uint64(0)
+
+// Encoder is the TLB-encoding scheme ψ (Section 3). For every virtual huge
+// page with at least one resident constituent page it maintains the w-bit
+// TLB value: an array of hmax per-page location codes, each BitsPerPage
+// wide, with the absent sentinel for non-resident pages. Maintaining the
+// table keyed by huge-page address is exactly the "constant time" hash
+// table from the proof of Theorem 1.
+//
+// The Encoder is updated by the decoupling scheme whenever the
+// RAM-replacement policy changes the active set; the TLB model reads
+// values out when the TLB-replacement policy inserts a huge page.
+type Encoder struct {
+	params    Params
+	values    map[uint64]*encEntry // huge page -> ψ(u) plus resident count
+	absent    uint64               // sentinel code
+	allAbsent *bitpack.FieldArray  // shared read-only "no pages resident" value
+}
+
+type encEntry struct {
+	arr      *bitpack.FieldArray
+	resident int
+}
+
+// NewEncoder creates the encoding scheme for the given parameters.
+func NewEncoder(p Params) *Encoder {
+	if p.HMax <= 0 || p.BitsPerPage == 0 {
+		panic(fmt.Sprintf("core: invalid encoder params hmax=%d bits=%d", p.HMax, p.BitsPerPage))
+	}
+	allAbsent := bitpack.NewFieldArray(p.HMax, p.BitsPerPage)
+	allAbsent.Fill(p.AbsentCode())
+	return &Encoder{
+		params:    p,
+		values:    make(map[uint64]*encEntry),
+		absent:    p.AbsentCode(),
+		allAbsent: allAbsent,
+	}
+}
+
+// PageAdded records that virtual page v became resident with the given
+// location code, updating ψ(r(v)) in O(1).
+func (e *Encoder) PageAdded(v uint64, code uint64) {
+	if code >= e.absent {
+		panic(fmt.Sprintf("core: code %d out of range [0,%d)", code, e.absent))
+	}
+	u := e.params.HugePage(v)
+	ent, ok := e.values[u]
+	if !ok {
+		arr := bitpack.NewFieldArray(e.params.HMax, e.params.BitsPerPage)
+		arr.Fill(e.absent)
+		ent = &encEntry{arr: arr}
+		e.values[u] = ent
+	}
+	idx := e.params.PageIndex(v)
+	if ent.arr.Get(idx) != e.absent {
+		panic(fmt.Sprintf("core: PageAdded for already-resident page %d", v))
+	}
+	ent.arr.Set(idx, code)
+	ent.resident++
+}
+
+// PageRemoved records that virtual page v left the active set.
+func (e *Encoder) PageRemoved(v uint64) {
+	u := e.params.HugePage(v)
+	ent, ok := e.values[u]
+	if !ok {
+		panic(fmt.Sprintf("core: PageRemoved for page %d with no encoded huge page", v))
+	}
+	idx := e.params.PageIndex(v)
+	if ent.arr.Get(idx) == e.absent {
+		panic(fmt.Sprintf("core: PageRemoved for non-resident page %d", v))
+	}
+	ent.arr.Set(idx, e.absent)
+	ent.resident--
+	if ent.resident == 0 {
+		delete(e.values, u)
+	}
+}
+
+// Value returns ψ(u), the current w-bit TLB value for virtual huge page u.
+// Huge pages with no resident constituent pages share one all-absent value.
+// The returned array must be treated as read-only; the TLB copies it on
+// insertion (Snapshot) to model the hardware latching a value.
+func (e *Encoder) Value(u uint64) *bitpack.FieldArray {
+	if ent, ok := e.values[u]; ok {
+		return ent.arr
+	}
+	return e.allAbsent
+}
+
+// Snapshot returns a copy of ψ(u) frozen at the current moment.
+func (e *Encoder) Snapshot(u uint64) *bitpack.FieldArray {
+	return e.Value(u).Clone()
+}
+
+// ResidentInHugePage returns how many of u's constituent pages are
+// resident.
+func (e *Encoder) ResidentInHugePage(u uint64) int {
+	if ent, ok := e.values[u]; ok {
+		return ent.resident
+	}
+	return 0
+}
+
+// EncodedHugePages returns how many huge pages currently have an entry in
+// the encoder's table (i.e. at least one resident page).
+func (e *Encoder) EncodedHugePages() int { return len(e.values) }
+
+// Decode is the TLB-decoding function f (Equation 4 of the paper): given a
+// virtual page address v and a TLB value ψ(u) for the huge page u ∋ v, it
+// returns φ(v) if v is in the active set and NullAddress otherwise. It is
+// evaluated in O(1) and uses only v, the value bits, and the allocator's
+// fixed random hash functions.
+func Decode(alloc Allocator, p Params, v uint64, value *bitpack.FieldArray) uint64 {
+	code := value.Get(p.PageIndex(v))
+	if code == p.AbsentCode() {
+		return NullAddress
+	}
+	return alloc.Decode(v, code)
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"addrxlat/internal/core"
+)
+
+// ExampleScheme shows the decoupling scheme's lifecycle: derive
+// parameters, page pages in, decode physical addresses from the compact
+// TLB value, and page back out.
+func ExampleScheme() {
+	params, err := core.DeriveParams(core.IcebergAlloc, 1<<20, 1<<24, 64)
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := core.NewScheme(params, 42)
+	if err != nil {
+		panic(err)
+	}
+
+	scheme.PageIn(7) // the RAM-replacement policy adds page 7 to A
+
+	u := params.HugePage(7)
+	phys := scheme.LookupIn(7, scheme.Value(u)) // f(7, ψ(u))
+	fmt.Println("resident:", phys != core.NullAddress)
+
+	scheme.PageOut(7)
+	fmt.Println("after page-out:", scheme.Lookup(7) != core.NullAddress)
+	// Output:
+	// resident: true
+	// after page-out: false
+}
+
+// ExampleDeriveParams prints the derived geometry for a 4 GiB machine.
+func ExampleDeriveParams() {
+	p, err := core.DeriveParams(core.IcebergAlloc, 1<<20, 1<<24, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hash choices:", p.K)
+	fmt.Println("pages per TLB entry:", p.HMax)
+	fmt.Println("bits per page code:", p.BitsPerPage)
+	// Output:
+	// hash choices: 3
+	// pages per TLB entry: 8
+	// bits per page code: 8
+}

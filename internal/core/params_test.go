@@ -1,0 +1,230 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeriveParamsErrors(t *testing.T) {
+	if _, err := DeriveParams(IcebergAlloc, 0, 100, 64); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, err := DeriveParams(IcebergAlloc, 100, 0, 64); err == nil {
+		t.Error("V=0 should error")
+	}
+	if _, err := DeriveParams(IcebergAlloc, 100, 100, 0); err == nil {
+		t.Error("w=0 should error")
+	}
+	if _, err := DeriveParams(IcebergAlloc, 100, 100, 5000); err == nil {
+		t.Error("w=5000 should error")
+	}
+	if _, err := DeriveParams("bogus", 100, 100, 64); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestDeriveParamsFull(t *testing.T) {
+	p, err := DeriveParams(FullyAssociative, 1<<20, 1<<24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitsPerPage != 21 {
+		// codes 0..P-1 plus sentinel P=2^20 requires 21 bits
+		t.Errorf("BitsPerPage = %d, want 21", p.BitsPerPage)
+	}
+	if p.HMax != 2 { // 64/21 = 3 -> rounded down to power of two = 2
+		t.Errorf("HMax = %d, want 2", p.HMax)
+	}
+	if p.Delta != 0 || p.MaxResident != 1<<20 {
+		t.Errorf("full scheme should have δ=0, m=P; got δ=%v m=%d", p.Delta, p.MaxResident)
+	}
+}
+
+func TestDeriveParamsSingle(t *testing.T) {
+	p, err := DeriveParams(SingleChoice, 1<<22, 1<<26, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ = 22·log2(22) ≈ 98; B ≈ λ + 2√(λ·log n) — should be in the low
+	// hundreds for P=4M.
+	if p.B < 98 || p.B > 400 {
+		t.Errorf("B = %d out of plausible Theorem-1 range", p.B)
+	}
+	if p.K != 1 {
+		t.Errorf("K = %d, want 1", p.K)
+	}
+	if p.Delta <= 0 || p.Delta >= 0.8 {
+		t.Errorf("δ = %v implausible", p.Delta)
+	}
+	if p.NumBuckets*uint64(p.B) > p.P {
+		t.Errorf("bucket space %d exceeds P=%d", p.NumBuckets*uint64(p.B), p.P)
+	}
+	if p.MaxResident > p.P {
+		t.Errorf("m=%d exceeds P=%d", p.MaxResident, p.P)
+	}
+	// hmax must be a power of two and fit the bit budget.
+	if p.HMax&(p.HMax-1) != 0 {
+		t.Errorf("HMax = %d not a power of two", p.HMax)
+	}
+	if p.HMax*int(p.BitsPerPage) > p.W {
+		t.Errorf("hmax·bits = %d exceeds w = %d", p.HMax*int(p.BitsPerPage), p.W)
+	}
+}
+
+func TestDeriveParamsIceberg(t *testing.T) {
+	p, err := DeriveParams(IcebergAlloc, 1<<22, 1<<26, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 {
+		t.Errorf("K = %d, want 3", p.K)
+	}
+	if p.Threshold <= 0 || p.Threshold > p.B {
+		t.Errorf("threshold %d outside (0, B=%d]", p.Threshold, p.B)
+	}
+	// Iceberg buckets should be much smaller than Theorem 1 buckets.
+	single, _ := DeriveParams(SingleChoice, 1<<22, 1<<26, 64)
+	if p.B >= single.B {
+		t.Errorf("Iceberg B=%d should be below single-choice B=%d", p.B, single.B)
+	}
+	// ... and hmax should be at least as large.
+	if p.HMax < single.HMax {
+		t.Errorf("Iceberg hmax=%d should be >= single-choice hmax=%d", p.HMax, single.HMax)
+	}
+	if p.Delta <= 0 || p.Delta >= 0.9 {
+		t.Errorf("δ = %v implausible", p.Delta)
+	}
+}
+
+// TestHMaxGrowsWithW: Equation (2)'s promise — hmax scales linearly in w.
+func TestHMaxGrowsWithW(t *testing.T) {
+	prev := 0
+	for _, w := range []int{16, 32, 64, 128, 256} {
+		p, err := DeriveParams(IcebergAlloc, 1<<24, 1<<28, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if p.HMax < prev {
+			t.Errorf("hmax decreased from %d to %d as w grew to %d", prev, p.HMax, w)
+		}
+		prev = p.HMax
+	}
+	// Doubling w from 64 to 128 should at least double hmax (power-of-two
+	// rounding can only help here).
+	p64, _ := DeriveParams(IcebergAlloc, 1<<24, 1<<28, 64)
+	p128, _ := DeriveParams(IcebergAlloc, 1<<24, 1<<28, 128)
+	if p128.HMax < 2*p64.HMax {
+		t.Errorf("hmax(128)=%d < 2·hmax(64)=%d", p128.HMax, 2*p64.HMax)
+	}
+}
+
+// TestHMaxOrdering: for the same w and P, the paper's hierarchy is
+// hmax(full) ≤ hmax(single) ≤ hmax(iceberg): fewer bits per page code as
+// associativity drops.
+func TestHMaxOrdering(t *testing.T) {
+	for _, P := range []uint64{1 << 18, 1 << 22, 1 << 26} {
+		full, err := DeriveParams(FullyAssociative, P, P*16, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := DeriveParams(SingleChoice, P, P*16, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ice, err := DeriveParams(IcebergAlloc, P, P*16, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(full.HMax <= single.HMax && single.HMax <= ice.HMax) {
+			t.Errorf("P=%d: hmax ordering violated: full=%d single=%d iceberg=%d",
+				P, full.HMax, single.HMax, ice.HMax)
+		}
+		if !(full.BitsPerPage >= single.BitsPerPage && single.BitsPerPage >= ice.BitsPerPage) {
+			t.Errorf("P=%d: bits ordering violated: full=%d single=%d iceberg=%d",
+				P, full.BitsPerPage, single.BitsPerPage, ice.BitsPerPage)
+		}
+	}
+}
+
+func TestHugePageMapping(t *testing.T) {
+	p, err := DeriveParams(IcebergAlloc, 1<<20, 1<<24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := uint64(p.HMax)
+	for _, v := range []uint64{0, 1, h - 1, h, h + 1, 12345678} {
+		if got, want := p.HugePage(v), v/h; got != want {
+			t.Errorf("HugePage(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := p.PageIndex(v), int(v%h); got != want {
+			t.Errorf("PageIndex(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestAbsentCode(t *testing.T) {
+	ice, _ := DeriveParams(IcebergAlloc, 1<<20, 1<<24, 64)
+	if ice.AbsentCode() != uint64(3*ice.B) {
+		t.Errorf("iceberg absent code = %d, want 3B = %d", ice.AbsentCode(), 3*ice.B)
+	}
+	single, _ := DeriveParams(SingleChoice, 1<<20, 1<<24, 64)
+	if single.AbsentCode() != uint64(single.B) {
+		t.Errorf("single absent code = %d, want B = %d", single.AbsentCode(), single.B)
+	}
+	full, _ := DeriveParams(FullyAssociative, 1<<20, 1<<24, 64)
+	if full.AbsentCode() != full.P {
+		t.Errorf("full absent code = %d, want P = %d", full.AbsentCode(), full.P)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p, _ := DeriveParams(IcebergAlloc, 1<<20, 1<<24, 64)
+	s := p.String()
+	for _, want := range []string{"kind=iceberg", "hmax=", "δ="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTinyConfigurations(t *testing.T) {
+	// Degenerate sizes must not crash or produce nonsense geometry.
+	for _, kind := range []AllocKind{FullyAssociative, SingleChoice, IcebergAlloc} {
+		for _, P := range []uint64{1, 2, 7, 64} {
+			p, err := DeriveParams(kind, P, P*4, 64)
+			if err != nil {
+				// Tiny P may legitimately not fit a code in w bits only
+				// if bits/page > w; with w=64 that never happens.
+				t.Errorf("kind=%s P=%d: %v", kind, P, err)
+				continue
+			}
+			if p.HMax < 1 {
+				t.Errorf("kind=%s P=%d: hmax=%d", kind, P, p.HMax)
+			}
+			if p.MaxResident == 0 || p.MaxResident > P {
+				t.Errorf("kind=%s P=%d: m=%d", kind, P, p.MaxResident)
+			}
+			if kind != FullyAssociative {
+				if p.NumBuckets == 0 || uint64(p.B)*p.NumBuckets > P {
+					t.Errorf("kind=%s P=%d: n=%d B=%d", kind, P, p.NumBuckets, p.B)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaShrinksWithP: δ = o(1) — the resource augmentation must shrink
+// (weakly) as P grows.
+func TestDeltaShrinksWithP(t *testing.T) {
+	var prev float64 = 1.1
+	for _, P := range []uint64{1 << 16, 1 << 24, 1 << 32, 1 << 40} {
+		p, err := DeriveParams(SingleChoice, P, P*4, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Delta > prev+0.02 { // allow tiny non-monotonic wiggle from rounding
+			t.Errorf("P=%d: δ=%v grew from %v", P, p.Delta, prev)
+		}
+		prev = p.Delta
+	}
+}

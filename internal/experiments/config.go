@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/parallel"
+)
+
+// Scale shrinks the paper's machine dimensions by a power-of-two factor
+// while preserving the ratios that give each figure its shape (hot-set :
+// TLB coverage, RAM : footprint, etc.). Scale 1 is paper scale.
+type Scale struct {
+	// SpaceDiv divides all page counts and the TLB entry count.
+	SpaceDiv uint64
+	// AccessDiv divides the warmup and measured access counts.
+	AccessDiv uint64
+}
+
+// PaperScale runs the paper's exact dimensions (hours of CPU).
+func PaperScale() Scale { return Scale{SpaceDiv: 1, AccessDiv: 1} }
+
+// DownScale is the default laptop-friendly configuration: address spaces
+// and TLB shrunk 64×, access counts 50×.
+func DownScale() Scale { return Scale{SpaceDiv: 64, AccessDiv: 50} }
+
+func (s Scale) validate() error {
+	if s.SpaceDiv == 0 || s.AccessDiv == 0 {
+		return fmt.Errorf("experiments: scale divisors must be positive: %+v", s)
+	}
+	return nil
+}
+
+// pages converts a byte size to base pages (4 KiB) and applies the space
+// divisor, flooring at 1.
+func (s Scale) pages(bytes uint64) uint64 {
+	p := bytes / 4096 / s.SpaceDiv
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// entries scales an entry count, flooring at floorAt.
+func (s Scale) entries(n uint64, floorAt uint64) int {
+	v := n / s.SpaceDiv
+	if v < floorAt {
+		v = floorAt
+	}
+	return int(v)
+}
+
+// accesses scales an access count, flooring at 10⁴.
+func (s Scale) accesses(n uint64) int {
+	v := n / s.AccessDiv
+	if v < 10000 {
+		v = 10000
+	}
+	return int(v)
+}
+
+// Paper constants shared by the Section 6 experiments.
+const (
+	paperTLBEntries = 1536
+	paperGiB        = uint64(1) << 30
+	paperEpsilon    = 0.01 // ε used when printing total costs
+)
+
+// HugePageSweep is the paper's h ∈ {1, 2, 4, …, 1024}.
+func HugePageSweep() []uint64 {
+	var hs []uint64
+	for h := uint64(1); h <= 1024; h *= 2 {
+		hs = append(hs, h)
+	}
+	return hs
+}
+
+// forEach runs fn(i) for i in [0, n) on a bounded worker pool and returns
+// the lowest-indexed error. Each simulation point is independent, so
+// sweeps parallelize across huge-page sizes / parameter values.
+func forEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(n, 0, fn)
+}

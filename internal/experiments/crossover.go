@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/core"
+	"addrxlat/internal/mm"
+)
+
+// Crossover is the headline summary table: for each Section 6 workload,
+// find the best *fixed* huge-page size h (minimizing total cost at ε) by
+// sweeping the full Figure 1 range, and set it against the decoupled
+// algorithm and the Section 8 hybrid. The paper's thesis in one table:
+// even the best achievable fixed h pays for its coverage in IOs (or vice
+// versa), while decoupling takes both columns at once.
+func Crossover(s Scale, seed uint64) (*Table, error) {
+	t := &Table{
+		Name: "x1-crossover",
+		Caption: fmt.Sprintf(
+			"Best fixed huge-page size vs decoupling, total cost at ε=%.2g", paperEpsilon),
+		Columns: []string{"workload", "algo", "ios", "tlb_misses", "total_cost"},
+	}
+	for _, w := range []Fig1Workload{F1aBimodal, F1bGraphWalk, F1cGraph500} {
+		machine, err := buildFig1Machine(w, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Sweep fixed h, tracking the cheapest.
+		hs := HugePageSweep()
+		costs := make([]mm.Costs, len(hs))
+		valid := make([]bool, len(hs))
+		if err := forEach(len(hs), func(i int) error {
+			if machine.ramPages < hs[i] {
+				return nil
+			}
+			alg, err := mm.NewHugePage(mm.HugePageConfig{
+				HugePageSize: hs[i], TLBEntries: machine.tlbEntries,
+				RAMPages: machine.ramPages, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			costs[i] = mm.RunWarm(alg, machine.warmup, machine.measured)
+			valid[i] = true
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		bestIdx := -1
+		for i := range hs {
+			if !valid[i] {
+				continue
+			}
+			if bestIdx < 0 || costs[i].Total(paperEpsilon) < costs[bestIdx].Total(paperEpsilon) {
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("experiments: no valid fixed h for %s", w)
+		}
+
+		// The decoupled algorithm and the coverage-matched hybrid.
+		z, err := mm.NewDecoupled(mm.DecoupledConfig{
+			Alloc: core.IcebergAlloc, RAMPages: machine.ramPages,
+			VirtualPages: machine.virtualPages, TLBEntries: machine.tlbEntries,
+			ValueBits: 64, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		zc := mm.RunWarm(z, machine.warmup, machine.measured)
+
+		g := hs[bestIdx] / uint64(z.Params().HMax)
+		if g < 1 {
+			g = 1
+		}
+		var hyc mm.Costs
+		hyName := "hybrid(-)"
+		if machine.ramPages/g >= 1 && machine.virtualPages/g >= 1 {
+			hy, err := mm.NewHybrid(mm.HybridConfig{
+				Decoupled: mm.DecoupledConfig{
+					Alloc: core.IcebergAlloc, RAMPages: machine.ramPages,
+					VirtualPages: machine.virtualPages, TLBEntries: machine.tlbEntries,
+					ValueBits: 64, Seed: seed,
+				},
+				GroupSize: g,
+			})
+			if err != nil {
+				return nil, err
+			}
+			hyc = mm.RunWarm(hy, machine.warmup, machine.measured)
+			hyName = hy.Name()
+		}
+
+		bc := costs[bestIdx]
+		t.AddRow(string(w), fmt.Sprintf("best-fixed(h=%d)", hs[bestIdx]),
+			bc.IOs, bc.TLBMisses, bc.Total(paperEpsilon))
+		t.AddRow(string(w), z.Name(), zc.IOs, zc.TLBMisses, zc.Total(paperEpsilon))
+		t.AddRow(string(w), hyName, hyc.IOs, hyc.TLBMisses, hyc.Total(paperEpsilon))
+	}
+	return t, nil
+}

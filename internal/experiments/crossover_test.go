@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrossover(t *testing.T) {
+	t.Parallel()
+	tab, err := Crossover(testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads × 3 rows.
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	// Per workload: plain Z's coverage is capped at hmax (set by w and P,
+	// not by the scaled TLB), so the right comparison against the *best*
+	// fixed h is the coverage-matched hybrid — Section 8's point. The
+	// hybrid must be total-competitive with the best fixed h and no worse
+	// on IOs whenever best h exceeds 1.
+	for i := 0; i < len(tab.Rows); i += 3 {
+		fixed := tab.Rows[i]
+		z := tab.Rows[i+1]
+		hy := tab.Rows[i+2]
+		if !strings.HasPrefix(fixed[1], "best-fixed(") {
+			t.Fatalf("row order broken: %v", fixed)
+		}
+		fixedTotal := parse(t, fixed[4])
+		if hyTotal := parse(t, hy[4]); hyTotal > 1.3*fixedTotal {
+			t.Errorf("%s: hybrid total %v above 1.3× best fixed %v", fixed[0], hyTotal, fixedTotal)
+		}
+		if !strings.Contains(fixed[1], "(h=1)") {
+			if parse(t, hy[2]) > parse(t, fixed[2]) {
+				t.Errorf("%s: hybrid IOs %s above best-fixed %s", fixed[0], hy[2], fixed[2])
+			}
+		}
+		// Plain Z stays IO-cheap regardless (its fault granularity is 1).
+		if parse(t, z[2]) > parse(t, fixed[2])*1.25+100 {
+			t.Errorf("%s: decoupled IOs %s far above best-fixed %s", fixed[0], z[2], fixed[2])
+		}
+	}
+}

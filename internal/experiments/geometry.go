@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/mm"
+	"addrxlat/internal/workload"
+)
+
+// TLBGeometryStudy quantifies what the paper's fully-associative TLB
+// simplification (footnote 1) hides: miss rates under real hardware
+// organizations — direct-mapped through fully associative, plus an L1/L2
+// hierarchy — at equal total entry count, in two regimes:
+//
+//   - "fits": uniform working set at 3/4 of the entry count, where
+//     conflict misses are the whole story (a fully associative TLB has
+//     only cold misses);
+//   - "thrash": working set at 4× the entry count, where capacity misses
+//     dominate and organizations converge — the regime of the paper's
+//     Section 6 workloads, justifying its simplification there.
+func TLBGeometryStudy(s Scale, seed uint64) (*Table, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	entries := s.entries(paperTLBEntries, 16)
+	for entries&(entries-1) != 0 {
+		entries--
+	}
+	accesses := s.accesses(20_000_000)
+	ramPages := uint64(entries) * 64 // ample: isolate TLB behavior
+
+	mkReqs := func(pages uint64, wseed uint64) ([]uint64, []uint64, error) {
+		gen, err := workload.NewUniform(pages, wseed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return workload.Take(gen, accesses), workload.Take(gen, accesses), nil
+	}
+	fitsWarm, fitsMeas, err := mkReqs(uint64(entries)*3/4, seed)
+	if err != nil {
+		return nil, err
+	}
+	thrashWarm, thrashMeas, err := mkReqs(uint64(entries)*4, seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name string
+		cfg  mm.GeometryConfig
+	}
+	variants := []variant{
+		{"direct-mapped", mm.GeometryConfig{Geometry: mm.GeometrySetAssoc, Entries: entries, Ways: 1, RAMPages: ramPages, Seed: seed}},
+		{"4-way", mm.GeometryConfig{Geometry: mm.GeometrySetAssoc, Entries: entries, Ways: 4, RAMPages: ramPages, Seed: seed}},
+		{"8-way", mm.GeometryConfig{Geometry: mm.GeometrySetAssoc, Entries: entries, Ways: 8, RAMPages: ramPages, Seed: seed}},
+		{"fully-assoc", mm.GeometryConfig{Geometry: mm.GeometryFull, Entries: entries, RAMPages: ramPages, Seed: seed}},
+		{"two-level", mm.GeometryConfig{Geometry: mm.GeometryTwoLevel, Entries: entries, RAMPages: ramPages, Seed: seed}},
+	}
+	type res struct{ fits, thrash mm.Costs }
+	results := make([]res, len(variants))
+	if err := forEach(len(variants), func(i int) error {
+		a, err := mm.NewGeometry(variants[i].cfg)
+		if err != nil {
+			return err
+		}
+		results[i].fits = mm.RunWarm(a, fitsWarm, fitsMeas)
+		b, err := mm.NewGeometry(variants[i].cfg)
+		if err != nil {
+			return err
+		}
+		results[i].thrash = mm.RunWarm(b, thrashWarm, thrashMeas)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name: "e9-tlb-geometry",
+		Caption: fmt.Sprintf(
+			"TLB organization vs miss rate at %d total entries: conflict-dominated (working set %d) vs capacity-dominated (working set %d) regimes",
+			entries, entries*3/4, entries*4),
+		Columns: []string{"organization", "fits_miss_rate", "thrash_miss_rate"},
+	}
+	for i, v := range variants {
+		f, th := results[i].fits, results[i].thrash
+		t.AddRow(v.name,
+			fmt.Sprintf("%.5f", float64(f.TLBMisses)/float64(f.Accesses)),
+			fmt.Sprintf("%.5f", float64(th.TLBMisses)/float64(th.Accesses)))
+	}
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestTLBGeometryStudy(t *testing.T) {
+	t.Parallel()
+	tab, err := TLBGeometryStudy(testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	fits := map[string]float64{}
+	thrash := map[string]float64{}
+	for _, row := range tab.Rows {
+		fits[row[0]] = parse(t, row[1])
+		thrash[row[0]] = parse(t, row[2])
+	}
+	// Conflict-dominated regime: strict associativity ordering, with the
+	// fully associative TLB suffering (almost) no steady-state misses.
+	if fits["fully-assoc"] > 0.001 {
+		t.Errorf("fully-assoc miss rate %v in the fits regime; want ~0", fits["fully-assoc"])
+	}
+	if !(fits["fully-assoc"] <= fits["8-way"] &&
+		fits["8-way"] <= fits["4-way"] &&
+		fits["4-way"] < fits["direct-mapped"]) {
+		t.Errorf("associativity ordering violated in fits regime: %v", fits)
+	}
+	if fits["direct-mapped"] < 10*fits["fully-assoc"]+0.01 {
+		t.Errorf("direct-mapped conflicts too mild: %v", fits["direct-mapped"])
+	}
+	// Capacity-dominated regime: all organizations within a factor ~1.3,
+	// justifying the paper's simplification for its workloads.
+	for name, rate := range thrash {
+		if rate < thrash["fully-assoc"]*0.8 || rate > thrash["fully-assoc"]*1.3 {
+			t.Errorf("thrash regime: %s rate %v diverges from fully-assoc %v",
+				name, rate, thrash["fully-assoc"])
+		}
+	}
+	if _, err := TLBGeometryStudy(Scale{}, 1); err == nil {
+		t.Error("invalid scale should error")
+	}
+}

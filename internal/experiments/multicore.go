@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/hashutil"
+	"addrxlat/internal/mm"
+)
+
+// MultiCoreStudy quantifies the per-core flavor of the introduction's
+// TLB-pressure trend: splitting a fixed silicon budget of TLB entries
+// across more cores (while the cores share one working set) inflates
+// total TLB misses and triggers shootdown traffic.
+func MultiCoreStudy(totalEntries int, workingSet uint64, nAccesses int, seed uint64) (*Table, error) {
+	if totalEntries <= 0 || workingSet == 0 || nAccesses <= 0 {
+		return nil, fmt.Errorf("experiments: invalid multicore config")
+	}
+	coreCounts := []int{1, 2, 4, 8, 16}
+	t := &Table{
+		Name: "e10-multicore",
+		Caption: fmt.Sprintf(
+			"Per-core TLBs: misses and shootdowns as %d total entries split across cores (shared %d-page working set, %d accesses)",
+			totalEntries, workingSet, nAccesses),
+		Columns: []string{"cores", "entries_per_core", "tlb_misses", "miss_rate", "shootdowns"},
+	}
+	type res struct {
+		misses, shootdowns uint64
+	}
+	results := make([]res, len(coreCounts))
+	err := forEach(len(coreCounts), func(i int) error {
+		cores := coreCounts[i]
+		per := totalEntries / cores
+		if per < 1 {
+			per = 1
+		}
+		m, err := mm.NewMultiCore(mm.MultiCoreConfig{
+			Cores: cores, TLBEntriesEach: per, HugePageSize: 1,
+			RAMPages: workingSet / 2, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		rng := hashutil.NewRNG(seed ^ uint64(cores)*131)
+		// Warm.
+		for a := 0; a < nAccesses/2; a++ {
+			m.AccessOn(a%cores, rng.Uint64n(workingSet))
+		}
+		m.ResetCosts()
+		for a := 0; a < nAccesses; a++ {
+			m.AccessOn(a%cores, rng.Uint64n(workingSet))
+		}
+		results[i] = res{m.Costs().TLBMisses, m.Shootdowns()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cores := range coreCounts {
+		r := results[i]
+		t.AddRow(cores, totalEntries/cores, r.misses,
+			fmt.Sprintf("%.4f", float64(r.misses)/float64(nAccesses)), r.shootdowns)
+	}
+	return t, nil
+}

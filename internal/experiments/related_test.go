@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelatedTable(t *testing.T) {
+	t.Parallel()
+	tab, err := Related(testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	get := func(prefix string) []string {
+		for _, row := range tab.Rows {
+			if strings.HasPrefix(row[0], prefix) {
+				return row
+			}
+		}
+		t.Fatalf("missing row %q", prefix)
+		return nil
+	}
+	plain := get("hugepage(")
+	co := get("coalesced(")
+	ds := get("directseg(")
+	z := get("decoupled(")
+
+	// Coalescing must cut TLB misses vs plain paging at identical IOs.
+	if parse(t, co[1]) != parse(t, plain[1]) {
+		t.Errorf("coalesced IOs %s != plain %s", co[1], plain[1])
+	}
+	if parse(t, co[2]) >= parse(t, plain[2]) {
+		t.Errorf("coalesced TLB misses %s not below plain %s", co[2], plain[2])
+	}
+	// Direct segments eliminate TLB misses for the primary region.
+	if parse(t, ds[2]) >= parse(t, plain[2]) {
+		t.Errorf("directseg TLB misses %s not below plain %s", ds[2], plain[2])
+	}
+	// Decoupling cuts TLB misses vs plain without needing contiguity.
+	if parse(t, z[2]) >= parse(t, plain[2]) {
+		t.Errorf("decoupled TLB misses %s not below plain %s", z[2], plain[2])
+	}
+	if _, err := Related(Scale{}, 1); err == nil {
+		t.Error("invalid scale should error")
+	}
+}

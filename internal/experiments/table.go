@@ -1,0 +1,87 @@
+// Package experiments contains the harness that regenerates every table
+// and figure of the paper's evaluation (and the shape-validation
+// experiments for its theorems). Each experiment returns a Table; the
+// cmd/figures binary renders them as TSV/CSV.
+//
+// Scaling: the paper's runs use 64 GiB address spaces and 200 M accesses.
+// Every experiment here takes a Scale; Scale 1 reproduces the paper's
+// dimensions, while the default DownScale shrinks all page counts and the
+// TLB together (preserving the ratios that determine the curves' shape)
+// so the full suite runs in minutes on a laptop. EXPERIMENTS.md records
+// results from the scaled defaults.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Name    string
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTSV renders the table as tab-separated values with a header.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.Name, t.Caption); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as comma-separated values with a header.
+// Cells are simple numbers/identifiers, so no quoting is needed; cells
+// containing commas are rejected to keep the format honest.
+func (t *Table) WriteCSV(w io.Writer) error {
+	join := func(cells []string) (string, error) {
+		for _, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				return "", fmt.Errorf("experiments: cell %q needs quoting; use TSV", c)
+			}
+		}
+		return strings.Join(cells, ","), nil
+	}
+	header, err := join(t.Columns)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		line, err := join(row)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeShare(t *testing.T) {
+	t.Parallel()
+	tab, err := TimeShare(testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 algorithms × 3 storage tiers.
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	// For each algorithm: AT share must rise monotonically as storage
+	// gets faster (disk → nvme → cxl rows appear in that order).
+	for a := 0; a < 3; a++ {
+		rows := tab.Rows[a*3 : a*3+3]
+		prev := -1.0
+		for _, row := range rows {
+			at := parse(t, row[3])
+			if at < prev {
+				t.Errorf("%s: AT share fell with faster storage: %v -> %v", row[0], prev, at)
+			}
+			prev = at
+			io := parse(t, row[4])
+			if at < 0 || at > 1 || io < 0 || io > 1 {
+				t.Errorf("shares out of range: at=%v io=%v", at, io)
+			}
+		}
+	}
+	// On fast storage, decoupling must spend a smaller share on AT than
+	// the h=1 baseline (it has the same IOs but far fewer TLB misses).
+	var h1CXL, zCXL float64
+	for _, row := range tab.Rows {
+		if row[1] != "cxl(1us)" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(row[0], "hugepage(h=1"):
+			h1CXL = parse(t, row[3])
+		case strings.HasPrefix(row[0], "decoupled("):
+			zCXL = parse(t, row[3])
+		}
+	}
+	if zCXL >= h1CXL {
+		t.Errorf("decoupled AT share %v not below h=1's %v on fast storage", zCXL, h1CXL)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/core"
+)
+
+// FailureProbability empirically validates the "with high probability in
+// P" guarantees of Theorems 1 and 3: across many independent seeds, fill
+// each allocation scheme to m = (1−δ)P pages and churn, recording the
+// fraction of seeds that ever see a paging failure. The theorems say this
+// fraction vanishes as P grows; the table reports it for several P at the
+// derived geometry.
+func FailureProbability(logPs []uint, seeds int) (*Table, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("experiments: seeds must be positive")
+	}
+	if len(logPs) == 0 {
+		logPs = []uint{12, 14, 16, 18}
+	}
+	t := &Table{
+		Name: "whp-failures",
+		Caption: fmt.Sprintf(
+			"Empirical w.h.p. validation: fraction of %d seeds with ≥1 paging failure (fill to m, then churn)",
+			seeds),
+		Columns: []string{"P", "kind", "B", "m", "delta", "seeds_with_failures", "failure_ops_total"},
+	}
+	type cell struct {
+		p          core.Params
+		seedsWith  int
+		failureOps uint64
+	}
+	var cells []cell
+	for _, logP := range logPs {
+		P := uint64(1) << logP
+		for _, kind := range []core.AllocKind{core.SingleChoice, core.IcebergAlloc} {
+			p, err := core.DeriveParams(kind, P, P*16, 64)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{p: p})
+		}
+	}
+	err := forEach(len(cells), func(i int) error {
+		for seed := 0; seed < seeds; seed++ {
+			fill, churn, _ := runFailureTrial(cells[i].p, uint64(seed)*2654435761)
+			if fill+churn > 0 {
+				cells[i].seedsWith++
+				cells[i].failureOps += fill + churn
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		t.AddRow(c.p.P, string(c.p.Kind), c.p.B, c.p.MaxResident,
+			fmt.Sprintf("%.4f", c.p.Delta), c.seedsWith, c.failureOps)
+	}
+	return t, nil
+}

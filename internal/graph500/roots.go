@@ -1,0 +1,59 @@
+package graph500
+
+import "addrxlat/internal/hashutil"
+
+// SampleRoots picks n distinct BFS roots with nonzero degree, uniformly at
+// random, as graph500's kernel-2 driver does (the spec samples 64 search
+// keys). It returns fewer than n roots if the graph has fewer vertices
+// with edges.
+func (g *Graph) SampleRoots(n int, seed uint64) []uint64 {
+	rng := hashutil.NewRNG(seed)
+	seen := make(map[uint64]bool, n)
+	roots := make([]uint64, 0, n)
+	// Rejection-sample; bail out after enough misses to avoid spinning on
+	// nearly edgeless graphs.
+	for attempts := 0; len(roots) < n && attempts < 64*n+1024; attempts++ {
+		v := rng.Uint64n(g.NumVertices)
+		if seen[v] || g.Degree(v) == 0 {
+			continue
+		}
+		seen[v] = true
+		roots = append(roots, v)
+	}
+	return roots
+}
+
+// MultiBFSTrace concatenates the instrumented traces of successive BFS
+// runs from the given roots, as a full graph500 execution would: one
+// shared data layout, parent array re-initialized per search. maxLen
+// bounds the total trace length (0 = unlimited).
+func (g *Graph) MultiBFSTrace(roots []uint64, layout Layout, maxLen int) (*TraceResult, error) {
+	var combined *TraceResult
+	for _, root := range roots {
+		remaining := 0
+		if maxLen > 0 {
+			remaining = maxLen - len(traceOf(combined))
+			if remaining <= 0 {
+				break
+			}
+		}
+		res, err := g.BFSTrace(root, layout, remaining)
+		if err != nil {
+			return nil, err
+		}
+		if combined == nil {
+			combined = res
+		} else {
+			combined.Trace = append(combined.Trace, res.Trace...)
+			combined.Parent = res.Parent // last search's tree
+		}
+	}
+	return combined, nil
+}
+
+func traceOf(r *TraceResult) []uint64 {
+	if r == nil {
+		return nil
+	}
+	return r.Trace
+}

@@ -1,0 +1,78 @@
+package graph500
+
+import "testing"
+
+func TestSampleRoots(t *testing.T) {
+	g, _ := Generate(Config{Scale: 10, EdgeFactor: 8, Seed: 1})
+	roots := g.SampleRoots(64, 2)
+	if len(roots) != 64 {
+		t.Fatalf("got %d roots, want 64", len(roots))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range roots {
+		if seen[r] {
+			t.Fatalf("duplicate root %d", r)
+		}
+		seen[r] = true
+		if g.Degree(r) == 0 {
+			t.Fatalf("root %d has degree 0", r)
+		}
+		if r >= g.NumVertices {
+			t.Fatalf("root %d out of range", r)
+		}
+	}
+}
+
+func TestSampleRootsDeterministic(t *testing.T) {
+	g, _ := Generate(Config{Scale: 8, EdgeFactor: 8, Seed: 1})
+	a := g.SampleRoots(16, 7)
+	b := g.SampleRoots(16, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different roots")
+		}
+	}
+}
+
+func TestSampleRootsSparseGraph(t *testing.T) {
+	// A tiny graph with very few edges: must terminate and return only
+	// valid roots, possibly fewer than requested.
+	g, _ := Generate(Config{Scale: 2, EdgeFactor: 1, Seed: 3})
+	roots := g.SampleRoots(100, 1)
+	if len(roots) > int(g.NumVertices) {
+		t.Fatalf("more roots than vertices")
+	}
+	for _, r := range roots {
+		if g.Degree(r) == 0 {
+			t.Fatalf("degree-0 root")
+		}
+	}
+}
+
+func TestMultiBFSTrace(t *testing.T) {
+	g, _ := Generate(Config{Scale: 9, EdgeFactor: 8, Seed: 4})
+	roots := g.SampleRoots(4, 5)
+	single, err := g.BFSTrace(roots[0], DefaultLayout(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := g.MultiBFSTrace(roots, DefaultLayout(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Trace) <= len(single.Trace) {
+		t.Fatalf("multi-trace %d not longer than single %d", len(multi.Trace), len(single.Trace))
+	}
+	// The final parent array must validate against the last root.
+	if err := g.Validate(roots[len(roots)-1], multi.Parent); err != nil {
+		t.Fatal(err)
+	}
+	// Length cap respected.
+	capped, err := g.MultiBFSTrace(roots, DefaultLayout(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Trace) > 5000 {
+		t.Fatalf("capped trace = %d", len(capped.Trace))
+	}
+}

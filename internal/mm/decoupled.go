@@ -1,0 +1,207 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/core"
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// DecoupledConfig configures Theorem 4's algorithm Z.
+type DecoupledConfig struct {
+	// Alloc selects the RAM-allocation scheme (core.IcebergAlloc for the
+	// headline Theorem 3 construction; core.SingleChoice for Theorem 1).
+	Alloc core.AllocKind
+	// RAMPages P and VirtualPages V size the machine in base pages.
+	RAMPages     uint64
+	VirtualPages uint64
+	// TLBEntries ℓ and ValueBits w define the TLB hardware.
+	TLBEntries int
+	ValueBits  int
+	// TLBPolicy is X's replacement policy (over size-hmax huge pages);
+	// RAMPolicy is Y's replacement policy (over base pages, capacity
+	// m = (1−δ)P). The paper's experiments use LRU for both.
+	TLBPolicy policy.Kind
+	RAMPolicy policy.Kind
+	// TLBWays, if nonzero, models the TLB as TLBWays-way set-associative
+	// instead of fully associative (the paper's model). TLBWays must
+	// divide TLBEntries.
+	TLBWays int
+	// Seed feeds the scheme's hash functions and randomized policies.
+	Seed uint64
+}
+
+func (c *DecoupledConfig) validate() error {
+	if c.Alloc == "" {
+		c.Alloc = core.IcebergAlloc
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("mm: TLB entries must be positive, got %d", c.TLBEntries)
+	}
+	if c.ValueBits <= 0 {
+		c.ValueBits = 64
+	}
+	if c.TLBPolicy == "" {
+		c.TLBPolicy = policy.LRUKind
+	}
+	if c.RAMPolicy == "" {
+		c.RAMPolicy = policy.LRUKind
+	}
+	return nil
+}
+
+// decoupledTLB is the minimal TLB surface Z needs, satisfied by both the
+// fully associative and set-associative models.
+type decoupledTLB interface {
+	lookupHit(u uint64) bool
+	insertEntry(u uint64)
+	resetCounters()
+}
+
+type fullDecoupledTLB struct{ t *tlb.TLB }
+
+func (f fullDecoupledTLB) lookupHit(u uint64) bool { _, ok := f.t.Lookup(u); return ok }
+func (f fullDecoupledTLB) insertEntry(u uint64)    { f.t.Insert(u, tlb.Entry{}) }
+func (f fullDecoupledTLB) resetCounters()          { f.t.ResetCounters() }
+
+type setDecoupledTLB struct{ t *tlb.SetAssociative }
+
+func (s setDecoupledTLB) lookupHit(u uint64) bool { _, ok := s.t.Lookup(u); return ok }
+func (s setDecoupledTLB) insertEntry(u uint64)    { s.t.Insert(u, tlb.Entry{}) }
+func (s setDecoupledTLB) resetCounters()          { s.t.ResetCounters() }
+
+// Decoupled is the paper's algorithm Z (Theorem 4): a huge-page decoupling
+// scheme D combined with a TLB-replacement policy X over virtual huge
+// pages of size hmax and a RAM-replacement policy Y over base pages with
+// capacity (1−δ)P.
+//
+// On each request v:
+//
+//   - TLB side: huge page u = r(v) is looked up; a miss costs ε and
+//     inserts u with value ψ(u) (evicting per X). ψ updates while u is
+//     TLB-resident are free, per the model.
+//   - RAM side: if v is not in Y's active set, one IO (cost 1) brings it
+//     in; Y's eviction is pushed through D (PageOut) so φ stays in sync.
+//     D assigns v a bucket slot; on a paging failure v enters F.
+//   - Failure handling: a request to a page in F is serviced with one
+//     temporary IO plus one decoding miss (cost 1+ε), exactly the
+//     Theorem 4 recipe; the page remains failed until Y evicts it.
+type Decoupled struct {
+	cfg    DecoupledConfig
+	params core.Params
+	scheme *core.Scheme
+	tlb    decoupledTLB
+	ramY   policy.Policy // Y: base-page cache of capacity m
+
+	costs       Costs
+	failureHits uint64 // requests serviced while the page was in F
+}
+
+var _ Algorithm = (*Decoupled)(nil)
+
+// NewDecoupled builds algorithm Z from the configuration.
+func NewDecoupled(cfg DecoupledConfig) (*Decoupled, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	params, err := core.DeriveParams(cfg.Alloc, cfg.RAMPages, cfg.VirtualPages, cfg.ValueBits)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.NewScheme(params, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var cache decoupledTLB
+	if cfg.TLBWays > 0 {
+		t, err := tlb.NewSetAssociative(cfg.TLBEntries, cfg.TLBWays, cfg.TLBPolicy, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		cache = setDecoupledTLB{t}
+	} else {
+		t, err := tlb.New(cfg.TLBEntries, cfg.TLBPolicy, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		cache = fullDecoupledTLB{t}
+	}
+	ramY, err := policy.New(cfg.RAMPolicy, int(params.MaxResident), cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoupled{
+		cfg:    cfg,
+		params: params,
+		scheme: scheme,
+		tlb:    cache,
+		ramY:   ramY,
+	}, nil
+}
+
+// Access implements Algorithm.
+func (z *Decoupled) Access(v uint64) {
+	z.costs.Accesses++
+	u := z.params.HugePage(v)
+
+	// --- RAM side (policy Y driving scheme D) ---
+	hit, victim := z.ramY.Access(v)
+	if victim != policy.NoEviction {
+		// Evictions are free. (Multi-queue policies may evict even on a
+		// hit, when promoting v displaces another key.)
+		z.scheme.PageOut(victim)
+	}
+	if !hit {
+		z.costs.IOs++      // fetching v is one IO
+		z.scheme.PageIn(v) // may fail; failure tracked by D
+	}
+
+	// --- TLB side (policy X) ---
+	// The TLB stores ψ(u); since ψ updates are free while u is resident,
+	// we model the entry as always holding the live value.
+	if !z.tlb.lookupHit(u) {
+		z.costs.TLBMisses++
+		z.tlb.insertEntry(u)
+	}
+
+	// --- Service the request via the decoding function f ---
+	if z.scheme.IsFailed(v) {
+		// Theorem 4 failure handling: one temporary IO + a decoding miss.
+		z.costs.IOs++
+		z.costs.DecodingMisses++
+		z.failureHits++
+		return
+	}
+	if phys := z.scheme.Lookup(v); phys == core.NullAddress {
+		// v is resident and not failed, so f must decode it; reaching
+		// here indicates a broken encoding, which must never happen.
+		panic(fmt.Sprintf("mm: resident page %d failed to decode", v))
+	}
+}
+
+// Costs implements Algorithm.
+func (z *Decoupled) Costs() Costs { return z.costs }
+
+// ResetCosts implements Algorithm.
+func (z *Decoupled) ResetCosts() {
+	z.costs = Costs{}
+	z.failureHits = 0
+	z.tlb.resetCounters()
+}
+
+// Name implements Algorithm.
+func (z *Decoupled) Name() string {
+	return fmt.Sprintf("decoupled(%s,hmax=%d,%s/%s)",
+		z.cfg.Alloc, z.params.HMax, z.cfg.TLBPolicy, z.cfg.RAMPolicy)
+}
+
+// Params exposes the derived decoupling parameters.
+func (z *Decoupled) Params() core.Params { return z.params }
+
+// Scheme exposes the underlying decoupling scheme (read-only use).
+func (z *Decoupled) Scheme() *core.Scheme { return z.scheme }
+
+// FailureHits reports how many requests were serviced while their page was
+// in the failure set F (each cost 1+ε extra).
+func (z *Decoupled) FailureHits() uint64 { return z.failureHits }

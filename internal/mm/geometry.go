@@ -1,0 +1,151 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// TLBGeometry selects the hardware TLB organization for the Geometry
+// algorithm.
+type TLBGeometry string
+
+// Supported geometries.
+const (
+	GeometryFull     TLBGeometry = "full"     // fully associative (the paper's model)
+	GeometrySetAssoc TLBGeometry = "setassoc" // sets × ways
+	GeometryTwoLevel TLBGeometry = "twolevel" // small L1 + large L2
+)
+
+// GeometryConfig configures the TLB-geometry study algorithm: classical
+// h=1 paging with a realistic TLB organization, quantifying what the
+// paper's fully-associative simplification (footnote 1) hides.
+type GeometryConfig struct {
+	Geometry TLBGeometry
+	// Entries: total TLB entries (for twolevel, the L2 size; L1 gets
+	// Entries/16, floored at 4).
+	Entries int
+	// Ways: associativity for setassoc (ignored otherwise).
+	Ways     int
+	RAMPages uint64
+	Seed     uint64
+}
+
+func (c *GeometryConfig) validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("mm: entries must be positive")
+	}
+	if c.RAMPages == 0 {
+		return fmt.Errorf("mm: RAM must be positive")
+	}
+	switch c.Geometry {
+	case GeometryFull, GeometryTwoLevel:
+	case GeometrySetAssoc:
+		if c.Ways <= 0 || c.Entries%c.Ways != 0 {
+			return fmt.Errorf("mm: ways %d must divide entries %d", c.Ways, c.Entries)
+		}
+	default:
+		return fmt.Errorf("mm: unknown geometry %q", c.Geometry)
+	}
+	return nil
+}
+
+// translationCache is the minimal surface the three TLB organizations
+// share for this experiment.
+type translationCache interface {
+	lookup(key uint64) bool
+	insert(key uint64)
+}
+
+type fullCache struct{ t *tlb.TLB }
+
+func (f fullCache) lookup(k uint64) bool { _, ok := f.t.Lookup(k); return ok }
+func (f fullCache) insert(k uint64)      { f.t.Insert(k, tlb.Entry{}) }
+
+type setCache struct{ t *tlb.SetAssociative }
+
+func (s setCache) lookup(k uint64) bool { _, ok := s.t.Lookup(k); return ok }
+func (s setCache) insert(k uint64)      { s.t.Insert(k, tlb.Entry{}) }
+
+type twoLevelCache struct{ t *tlb.TwoLevel }
+
+func (h twoLevelCache) lookup(k uint64) bool { _, level := h.t.Lookup(k); return level != 0 }
+func (h twoLevelCache) insert(k uint64)      { h.t.Insert(k, tlb.Entry{}) }
+
+// Geometry is the TLB-organization study algorithm.
+type Geometry struct {
+	cfg   GeometryConfig
+	cache translationCache
+	ram   policy.Policy
+	costs Costs
+}
+
+var _ Algorithm = (*Geometry)(nil)
+
+// NewGeometry builds the algorithm.
+func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Geometry{cfg: cfg}
+	switch cfg.Geometry {
+	case GeometryFull:
+		t, err := tlb.New(cfg.Entries, policy.LRUKind, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g.cache = fullCache{t}
+	case GeometrySetAssoc:
+		t, err := tlb.NewSetAssociative(cfg.Entries, cfg.Ways, policy.LRUKind, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g.cache = setCache{t}
+	case GeometryTwoLevel:
+		l1 := cfg.Entries / 16
+		if l1 < 4 {
+			l1 = 4
+		}
+		if l1 >= cfg.Entries {
+			return nil, fmt.Errorf("mm: entries %d too small for a two-level split", cfg.Entries)
+		}
+		t, err := tlb.NewTwoLevel(l1, cfg.Entries, policy.LRUKind, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g.cache = twoLevelCache{t}
+	}
+	ram, err := policy.New(policy.LRUKind, int(cfg.RAMPages), cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	g.ram = ram
+	return g, nil
+}
+
+// Access implements Algorithm.
+func (g *Geometry) Access(v uint64) {
+	g.costs.Accesses++
+	if hit, _ := g.ram.Access(v); !hit {
+		g.costs.IOs++
+	}
+	if !g.cache.lookup(v) {
+		g.costs.TLBMisses++
+		g.cache.insert(v)
+	}
+}
+
+// Costs implements Algorithm.
+func (g *Geometry) Costs() Costs { return g.costs }
+
+// ResetCosts implements Algorithm.
+func (g *Geometry) ResetCosts() { g.costs = Costs{} }
+
+// Name implements Algorithm.
+func (g *Geometry) Name() string {
+	if g.cfg.Geometry == GeometrySetAssoc {
+		return fmt.Sprintf("geometry(%s,%dx%d)", g.cfg.Geometry, g.cfg.Entries/g.cfg.Ways, g.cfg.Ways)
+	}
+	return fmt.Sprintf("geometry(%s,%d)", g.cfg.Geometry, g.cfg.Entries)
+}

@@ -1,0 +1,248 @@
+package mm
+
+import (
+	"fmt"
+	"sort"
+
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// HawkEyeConfig configures the HawkEye-style baseline (Panwar, Bansal,
+// Gopinath — ASPLOS '19, reference [35] of the paper). Where THP promotes
+// a region the moment its residency crosses a threshold, HawkEye ranks
+// candidate regions by *access coverage* (how hot they actually are,
+// sampled per epoch) and promotes only the top few per epoch — modeling
+// khugepaged's bounded promotion rate and avoiding wasted promotions of
+// cold, merely-resident regions.
+type HawkEyeConfig struct {
+	// HugePageSize h: pages per promotable region (power of two ≥ 2).
+	HugePageSize uint64
+	// EpochLength: accesses per promotion epoch. 0 defaults to 64·h.
+	EpochLength int
+	// PromoteBudget: max promotions per epoch. 0 defaults to 2.
+	PromoteBudget int
+	// MinResident: minimum resident pages for a region to be a
+	// promotion candidate. 0 defaults to h/4.
+	MinResident int
+	TLBEntries  int
+	RAMPages    uint64
+	Seed        uint64
+}
+
+func (c *HawkEyeConfig) validate() error {
+	if c.HugePageSize < 2 || c.HugePageSize&(c.HugePageSize-1) != 0 {
+		return fmt.Errorf("mm: hawkeye huge-page size %d must be a power of two ≥ 2", c.HugePageSize)
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("mm: TLB entries must be positive")
+	}
+	if c.RAMPages < c.HugePageSize {
+		return fmt.Errorf("mm: RAM below one huge page")
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = 64 * int(c.HugePageSize)
+	}
+	if c.EpochLength < 1 {
+		return fmt.Errorf("mm: epoch length must be positive")
+	}
+	if c.PromoteBudget == 0 {
+		c.PromoteBudget = 2
+	}
+	if c.PromoteBudget < 1 {
+		return fmt.Errorf("mm: promote budget must be positive")
+	}
+	if c.MinResident == 0 {
+		c.MinResident = int(c.HugePageSize / 4)
+	}
+	if c.MinResident < 1 || c.MinResident > int(c.HugePageSize) {
+		return fmt.Errorf("mm: min resident %d outside [1,%d]", c.MinResident, c.HugePageSize)
+	}
+	return nil
+}
+
+// HawkEye is the access-coverage-ranked promotion baseline. RAM tracking
+// mirrors THP (units are base pages or promoted regions in one LRU);
+// promotion decisions differ: per-epoch, budgeted, hotness-ranked.
+type HawkEye struct {
+	cfg HawkEyeConfig
+	tlb *tlb.TLB
+	ram *policy.LRU
+
+	resident map[uint64]uint64 // region -> resident base pages (unpromoted)
+	promoted map[uint64]bool
+	hotness  map[uint64]uint64 // region -> accesses this epoch
+	used     uint64
+	tick     int
+
+	costs      Costs
+	promotions uint64
+	demotions  uint64
+}
+
+var _ Algorithm = (*HawkEye)(nil)
+
+// NewHawkEye builds the baseline.
+func NewHawkEye(cfg HawkEyeConfig) (*HawkEye, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t, err := tlb.New(cfg.TLBEntries, policy.LRUKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &HawkEye{
+		cfg:      cfg,
+		tlb:      t,
+		ram:      policy.NewLRU(int(cfg.RAMPages)),
+		resident: make(map[uint64]uint64),
+		promoted: make(map[uint64]bool),
+		hotness:  make(map[uint64]uint64),
+	}, nil
+}
+
+func (m *HawkEye) pagesOf(id uint64) uint64 {
+	if isHugeUnit(id) {
+		return m.cfg.HugePageSize
+	}
+	return 1
+}
+
+func (m *HawkEye) evictUntilFits(need uint64) {
+	for m.used+need > m.cfg.RAMPages {
+		id, ok := m.ram.EvictLRU()
+		if !ok {
+			panic("mm: hawkeye cannot free enough RAM")
+		}
+		m.dropUnit(id)
+	}
+}
+
+func (m *HawkEye) dropUnit(id uint64) {
+	m.used -= m.pagesOf(id)
+	if isHugeUnit(id) {
+		r := unitRegion(id)
+		delete(m.promoted, r)
+		m.demotions++
+		m.tlb.Invalidate(tlbHuge(r))
+	} else {
+		v := unitRegion(id)
+		r := v / m.cfg.HugePageSize
+		if m.resident[r] <= 1 {
+			delete(m.resident, r)
+		} else {
+			m.resident[r]--
+		}
+		m.tlb.Invalidate(tlbBase(v))
+	}
+}
+
+// Access implements Algorithm.
+func (m *HawkEye) Access(v uint64) {
+	m.costs.Accesses++
+	r := v / m.cfg.HugePageSize
+	m.hotness[r]++
+
+	var tlbKey uint64
+	if m.promoted[r] {
+		m.ram.Access(unitHuge(r))
+		tlbKey = tlbHuge(r)
+	} else {
+		id := unitBase(v)
+		if !m.ram.Contains(id) {
+			m.costs.IOs++
+			m.evictUntilFits(1)
+			m.ram.Access(id)
+			m.used++
+			m.resident[r]++
+		} else {
+			m.ram.Access(id)
+		}
+		tlbKey = tlbBase(v)
+	}
+
+	if _, ok := m.tlb.Lookup(tlbKey); !ok {
+		m.costs.TLBMisses++
+		m.tlb.Insert(tlbKey, tlb.Entry{})
+	}
+
+	m.tick++
+	if m.tick >= m.cfg.EpochLength {
+		m.tick = 0
+		m.epochPromote()
+	}
+}
+
+// epochPromote ranks unpromoted candidate regions by epoch hotness and
+// promotes up to the budget, then decays the samples (HawkEye halves its
+// access-bit histograms; we reset, the simplest decay).
+func (m *HawkEye) epochPromote() {
+	type cand struct {
+		region uint64
+		hot    uint64
+	}
+	var cands []cand
+	for r, hot := range m.hotness {
+		if m.promoted[r] {
+			continue
+		}
+		if int(m.resident[r]) < m.cfg.MinResident {
+			continue
+		}
+		cands = append(cands, cand{r, hot})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hot != cands[j].hot {
+			return cands[i].hot > cands[j].hot
+		}
+		return cands[i].region < cands[j].region // deterministic ties
+	})
+	budget := m.cfg.PromoteBudget
+	for _, c := range cands {
+		if budget == 0 {
+			break
+		}
+		m.promote(c.region)
+		budget--
+	}
+	m.hotness = make(map[uint64]uint64, len(m.hotness))
+}
+
+// promote copy-promotes region r (as THP does: missing pages are fetched).
+func (m *HawkEye) promote(r uint64) {
+	have := m.resident[r]
+	m.costs.IOs += m.cfg.HugePageSize - have
+	start := r * m.cfg.HugePageSize
+	for v := start; v < start+m.cfg.HugePageSize; v++ {
+		if m.ram.Remove(unitBase(v)) {
+			m.used--
+			m.tlb.Invalidate(tlbBase(v))
+		}
+	}
+	delete(m.resident, r)
+	m.evictUntilFits(m.cfg.HugePageSize)
+	m.ram.Access(unitHuge(r))
+	m.used += m.cfg.HugePageSize
+	m.promoted[r] = true
+	m.promotions++
+}
+
+// Costs implements Algorithm.
+func (m *HawkEye) Costs() Costs { return m.costs }
+
+// ResetCosts implements Algorithm.
+func (m *HawkEye) ResetCosts() {
+	m.costs = Costs{}
+	m.tlb.ResetCounters()
+}
+
+// Name implements Algorithm.
+func (m *HawkEye) Name() string {
+	return fmt.Sprintf("hawkeye(h=%d,budget=%d/epoch)", m.cfg.HugePageSize, m.cfg.PromoteBudget)
+}
+
+// Promotions and Demotions report adaptive activity.
+func (m *HawkEye) Promotions() uint64 { return m.promotions }
+
+// Demotions reports wholesale evictions of promoted regions.
+func (m *HawkEye) Demotions() uint64 { return m.demotions }

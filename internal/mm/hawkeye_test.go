@@ -1,0 +1,168 @@
+package mm
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+func TestHawkEyeConfigValidation(t *testing.T) {
+	bad := []HawkEyeConfig{
+		{HugePageSize: 1, TLBEntries: 4, RAMPages: 64},
+		{HugePageSize: 6, TLBEntries: 4, RAMPages: 64},
+		{HugePageSize: 8, TLBEntries: 0, RAMPages: 64},
+		{HugePageSize: 8, TLBEntries: 4, RAMPages: 4},
+		{HugePageSize: 8, TLBEntries: 4, RAMPages: 64, MinResident: 9},
+		{HugePageSize: 8, TLBEntries: 4, RAMPages: 64, EpochLength: -1},
+		{HugePageSize: 8, TLBEntries: 4, RAMPages: 64, PromoteBudget: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewHawkEye(cfg); err == nil {
+			t.Errorf("case %d should error: %+v", i, cfg)
+		}
+	}
+}
+
+func TestHawkEyePromotesHottestFirst(t *testing.T) {
+	m, err := NewHawkEye(HawkEyeConfig{
+		HugePageSize: 8, EpochLength: 100, PromoteBudget: 1,
+		MinResident: 2, TLBEntries: 32, RAMPages: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0: hot (accessed constantly). Region 1: touched but cold.
+	r := hashutil.NewRNG(1)
+	for i := 0; i < 99; i++ {
+		if i < 4 {
+			m.Access(8 + uint64(i%2)) // region 1: a few touches
+		} else {
+			m.Access(r.Uint64n(8)) // region 0: dominant
+		}
+	}
+	// The 100th access ends the epoch and triggers promotion.
+	m.Access(0)
+	if m.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1 (budget)", m.Promotions())
+	}
+	if !m.promoted[0] {
+		t.Fatal("hottest region 0 not the one promoted")
+	}
+	if m.promoted[1] {
+		t.Fatal("cold region 1 promoted over hot region 0")
+	}
+}
+
+func TestHawkEyeBudgetBoundsPromotions(t *testing.T) {
+	m, err := NewHawkEye(HawkEyeConfig{
+		HugePageSize: 8, EpochLength: 64, PromoteBudget: 2,
+		MinResident: 1, TLBEntries: 64, RAMPages: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 16 regions equally; after one epoch only 2 may be promoted.
+	for i := 0; i < 64; i++ {
+		m.Access(uint64(i%16) * 8)
+	}
+	if m.Promotions() > 2 {
+		t.Fatalf("promotions = %d exceed budget 2", m.Promotions())
+	}
+}
+
+func TestHawkEyeMinResidentGate(t *testing.T) {
+	m, err := NewHawkEye(HawkEyeConfig{
+		HugePageSize: 8, EpochLength: 50, PromoteBudget: 4,
+		MinResident: 4, TLBEntries: 32, RAMPages: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a single page of region 0: hot but only 1 resident page —
+	// must not be promoted.
+	for i := 0; i < 200; i++ {
+		m.Access(3)
+	}
+	if m.Promotions() != 0 {
+		t.Fatalf("promotions = %d for a 1-page-resident region (min 4)", m.Promotions())
+	}
+}
+
+func TestHawkEyeRAMAccounting(t *testing.T) {
+	m, err := NewHawkEye(HawkEyeConfig{
+		HugePageSize: 4, EpochLength: 32, PromoteBudget: 2,
+		MinResident: 2, TLBEntries: 8, RAMPages: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hashutil.NewRNG(2)
+	for i := 0; i < 50000; i++ {
+		m.Access(r.Uint64n(256))
+		if m.used > 16 {
+			t.Fatalf("step %d: used %d > RAM 16", i, m.used)
+		}
+	}
+	var recount uint64
+	for range m.promoted {
+		recount += 4
+	}
+	for _, c := range m.resident {
+		recount += c
+	}
+	if recount != m.used {
+		t.Fatalf("used=%d, maps say %d", m.used, recount)
+	}
+}
+
+func TestHawkEyeAvoidsColdPromotions(t *testing.T) {
+	// A scan-heavy workload (every region touched once per pass) with a
+	// hot kernel: HawkEye should spend its promotions on the hot kernel
+	// and far fewer IOs than THP, which promotes any region crossing its
+	// residency threshold.
+	const h = 16
+	mkTraffic := func() []uint64 {
+		r := hashutil.NewRNG(3)
+		var reqs []uint64
+		for i := 0; i < 100000; i++ {
+			if r.Float64() < 0.7 {
+				reqs = append(reqs, r.Uint64n(2*h)) // hot kernel: 2 regions
+			} else {
+				reqs = append(reqs, 2*h+r.Uint64n(1<<12)) // scan tail
+			}
+		}
+		return reqs
+	}
+	he, err := NewHawkEye(HawkEyeConfig{
+		HugePageSize: h, TLBEntries: 64, RAMPages: 1 << 11, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thp, err := NewTHP(THPConfig{
+		HugePageSize: h, TLBEntries: 64, RAMPages: 1 << 11, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := mkTraffic()
+	hc := Run(he, reqs)
+	tc := Run(thp, reqs)
+	if hc.IOs >= tc.IOs {
+		t.Fatalf("hawkeye IOs %d not below THP's %d on scan-heavy traffic", hc.IOs, tc.IOs)
+	}
+	if he.Promotions() >= thp.Promotions() {
+		t.Fatalf("hawkeye promotions %d not below THP's %d", he.Promotions(), thp.Promotions())
+	}
+}
+
+func TestHawkEyeResetCosts(t *testing.T) {
+	m, _ := NewHawkEye(HawkEyeConfig{HugePageSize: 4, TLBEntries: 8, RAMPages: 64})
+	for v := uint64(0); v < 100; v++ {
+		m.Access(v)
+	}
+	m.ResetCosts()
+	if c := m.Costs(); c.IOs != 0 || c.TLBMisses != 0 || c.Accesses != 0 {
+		t.Fatalf("not reset: %+v", c)
+	}
+}

@@ -1,0 +1,116 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// HugePageConfig configures the Section 6 baseline simulator.
+type HugePageConfig struct {
+	// HugePageSize h: pages per (virtually and physically contiguous)
+	// huge page. Must be a power of two ≥ 1. h=1 is classical paging.
+	HugePageSize uint64
+	// TLBEntries ℓ (the paper models 1536).
+	TLBEntries int
+	// RAMPages P: physical memory size in base pages.
+	RAMPages uint64
+	// TLBPolicy and RAMPolicy; the paper uses LRU for both.
+	TLBPolicy policy.Kind
+	RAMPolicy policy.Kind
+	// Seed feeds randomized policies.
+	Seed uint64
+}
+
+func (c *HugePageConfig) validate() error {
+	if c.HugePageSize == 0 || c.HugePageSize&(c.HugePageSize-1) != 0 {
+		return fmt.Errorf("mm: huge-page size %d must be a power of two ≥ 1", c.HugePageSize)
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("mm: TLB entries must be positive, got %d", c.TLBEntries)
+	}
+	if c.RAMPages == 0 {
+		return fmt.Errorf("mm: RAM pages must be positive")
+	}
+	if c.RAMPages < c.HugePageSize {
+		return fmt.Errorf("mm: RAM (%d pages) smaller than one huge page (%d)", c.RAMPages, c.HugePageSize)
+	}
+	if c.TLBPolicy == "" {
+		c.TLBPolicy = policy.LRUKind
+	}
+	if c.RAMPolicy == "" {
+		c.RAMPolicy = policy.LRUKind
+	}
+	return nil
+}
+
+// HugePage is the paper's Section 6 trace-driven simulator: huge pages of
+// size h are both virtually and physically contiguous, so the TLB caches
+// one entry per huge page, RAM is managed at huge-page granularity, and
+// every page fault moves h pages at a cost of h IOs — page-fault
+// amplification made explicit.
+type HugePage struct {
+	cfg   HugePageConfig
+	tlb   *tlb.TLB
+	ram   policy.Policy // cache of huge-page ids, capacity P/h
+	costs Costs
+}
+
+var _ Algorithm = (*HugePage)(nil)
+
+// NewHugePage builds the baseline simulator.
+func NewHugePage(cfg HugePageConfig) (*HugePage, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t, err := tlb.New(cfg.TLBEntries, cfg.TLBPolicy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	frames := int(cfg.RAMPages / cfg.HugePageSize)
+	ram, err := policy.New(cfg.RAMPolicy, frames, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &HugePage{cfg: cfg, tlb: t, ram: ram}, nil
+}
+
+// Access implements Algorithm.
+func (m *HugePage) Access(v uint64) {
+	m.costs.Accesses++
+	u := v / m.cfg.HugePageSize
+
+	// RAM first: ensure the huge page containing v is resident. A fault
+	// moves all h constituent pages (cost h), possibly evicting another
+	// huge page (evictions free).
+	if hit, _ := m.ram.Access(u); !hit {
+		m.costs.IOs += m.cfg.HugePageSize
+	}
+
+	// TLB: one entry covers the whole huge page.
+	if _, ok := m.tlb.Lookup(u); !ok {
+		m.costs.TLBMisses++
+		m.tlb.Insert(u, tlb.Entry{Phys: u})
+	}
+}
+
+// Costs implements Algorithm.
+func (m *HugePage) Costs() Costs { return m.costs }
+
+// ResetCosts implements Algorithm.
+func (m *HugePage) ResetCosts() {
+	m.costs = Costs{}
+	m.tlb.ResetCounters()
+}
+
+// Name implements Algorithm.
+func (m *HugePage) Name() string {
+	return fmt.Sprintf("hugepage(h=%d,%s/%s)", m.cfg.HugePageSize, m.cfg.TLBPolicy, m.cfg.RAMPolicy)
+}
+
+// ResidentHugePages reports how many huge pages are in RAM.
+func (m *HugePage) ResidentHugePages() int { return m.ram.Len() }
+
+// TLBLen reports the TLB occupancy.
+func (m *HugePage) TLBLen() int { return m.tlb.Len() }

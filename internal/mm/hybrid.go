@@ -1,0 +1,98 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/core"
+)
+
+// HybridConfig configures the Section 8 hybrid: huge-page decoupling over
+// physically contiguous *groups* of pages. If the optimal virtual
+// huge-page size q exceeds hmax, one can decouple huge pages of q pages
+// into hmax physical groups of g = q/hmax contiguous pages each: all the
+// TLB coverage of size-q huge pages, with IO amplification capped at g
+// instead of q.
+type HybridConfig struct {
+	// Decoupled carries the machine configuration; its page-granularity
+	// fields are interpreted in *groups* internally.
+	Decoupled DecoupledConfig
+	// GroupSize g: physically contiguous base pages per group (power of
+	// two ≥ 1). g=1 degenerates to plain decoupling.
+	GroupSize uint64
+}
+
+// Hybrid runs a Decoupled instance over group addresses: request v maps to
+// group v/g; each group fault moves g base pages (cost g IOs); the TLB
+// covers hmax groups = hmax·g base pages per entry.
+type Hybrid struct {
+	inner *Decoupled
+	g     uint64
+	costs Costs
+}
+
+var _ Algorithm = (*Hybrid)(nil)
+
+// NewHybrid builds the hybrid algorithm.
+func NewHybrid(cfg HybridConfig) (*Hybrid, error) {
+	if cfg.GroupSize == 0 || cfg.GroupSize&(cfg.GroupSize-1) != 0 {
+		return nil, fmt.Errorf("mm: group size %d must be a power of two ≥ 1", cfg.GroupSize)
+	}
+	inner := cfg.Decoupled
+	if inner.RAMPages < cfg.GroupSize || inner.VirtualPages < cfg.GroupSize {
+		return nil, fmt.Errorf("mm: group size %d exceeds memory (P=%d, V=%d)",
+			cfg.GroupSize, inner.RAMPages, inner.VirtualPages)
+	}
+	// Rescale the machine to group granularity.
+	inner.RAMPages /= cfg.GroupSize
+	inner.VirtualPages /= cfg.GroupSize
+	z, err := NewDecoupled(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{inner: z, g: cfg.GroupSize}, nil
+}
+
+// Access implements Algorithm.
+func (h *Hybrid) Access(v uint64) {
+	before := h.inner.Costs()
+	h.inner.Access(v / h.g)
+	after := h.inner.Costs()
+
+	// Group IOs amplify by g; ε-costs carry over unchanged.
+	h.costs.Accesses++
+	h.costs.IOs += (after.IOs - before.IOs) * h.g
+	h.costs.TLBMisses += after.TLBMisses - before.TLBMisses
+	h.costs.DecodingMisses += after.DecodingMisses - before.DecodingMisses
+}
+
+// Costs implements Algorithm.
+func (h *Hybrid) Costs() Costs { return h.costs }
+
+// ResetCosts implements Algorithm.
+func (h *Hybrid) ResetCosts() {
+	h.costs = Costs{}
+	h.inner.ResetCosts()
+}
+
+// Name implements Algorithm.
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("hybrid(g=%d,%s)", h.g, h.inner.Name())
+}
+
+// CoveragePages returns base pages covered per TLB entry: hmax·g.
+func (h *Hybrid) CoveragePages() uint64 {
+	return uint64(h.inner.Params().HMax) * h.g
+}
+
+// Inner exposes the underlying decoupled algorithm.
+func (h *Hybrid) Inner() *Decoupled { return h.inner }
+
+// hmaxOf is a convenience for experiments needing the derived hmax without
+// building a whole algorithm.
+func hmaxOf(kind core.AllocKind, P, V uint64, w int) (int, error) {
+	p, err := core.DeriveParams(kind, P, V, w)
+	if err != nil {
+		return 0, err
+	}
+	return p.HMax, nil
+}

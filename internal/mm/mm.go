@@ -1,0 +1,87 @@
+// Package mm implements memory-management algorithms under the paper's
+// address-translation cost model (Section 5).
+//
+// A memory-management algorithm services a sequence of virtual-page
+// requests, controlling the TLB contents, the RAM active set, the
+// virtual→physical mapping and the TLB decoding function. Costs:
+//
+//   - adding a page to the active set (an IO) costs 1;
+//   - adding an entry to the TLB (a TLB miss) costs ε ∈ (0,1);
+//   - a decoding miss (an encoded page wrongly decoding to −1) costs ε;
+//   - evictions and TLB-value updates are free.
+//
+// Implementations:
+//
+//   - HugePage: the Section 6 trace-driven baseline, with physically
+//     contiguous huge pages of size h (h=1 is classical paging, the
+//     IO-optimizing Y side; h=hmax is the TLB-optimizing X side).
+//   - Decoupled: Theorem 4's algorithm Z — huge-page decoupling driven by
+//     a TLB-replacement policy X and RAM-replacement policy Y.
+//   - Hybrid: the Section 8 sketch — decoupling over physically
+//     contiguous groups of g pages.
+package mm
+
+import "fmt"
+
+// Costs aggregates the cost counters of the address-translation model.
+type Costs struct {
+	IOs            uint64 // page moves between RAM and storage (cost 1 each)
+	TLBMisses      uint64 // TLB insertions (cost ε each)
+	DecodingMisses uint64 // decoding misses (cost ε each)
+	Accesses       uint64 // requests serviced (not a cost; for rates)
+}
+
+// Total returns C = C_IO + C_TLB + C_D for the given ε.
+func (c Costs) Total(epsilon float64) float64 {
+	return float64(c.IOs) + epsilon*float64(c.TLBMisses+c.DecodingMisses)
+}
+
+// Add accumulates other into c.
+func (c *Costs) Add(other Costs) {
+	c.IOs += other.IOs
+	c.TLBMisses += other.TLBMisses
+	c.DecodingMisses += other.DecodingMisses
+	c.Accesses += other.Accesses
+}
+
+// String formats the counters compactly.
+func (c Costs) String() string {
+	return fmt.Sprintf("accesses=%d ios=%d tlb_misses=%d decode_misses=%d",
+		c.Accesses, c.IOs, c.TLBMisses, c.DecodingMisses)
+}
+
+// Algorithm is a memory-management algorithm servicing one request at a
+// time (online).
+type Algorithm interface {
+	// Access services a request for virtual page v, updating cost
+	// counters.
+	Access(v uint64)
+
+	// Costs returns the accumulated counters.
+	Costs() Costs
+
+	// ResetCosts zeroes the counters, keeping all cache/RAM state — used
+	// to discard warmup, as in the paper's methodology.
+	ResetCosts()
+
+	// Name identifies the algorithm configuration.
+	Name() string
+}
+
+// Run services every request in order and returns the final counters.
+func Run(a Algorithm, requests []uint64) Costs {
+	for _, v := range requests {
+		a.Access(v)
+	}
+	return a.Costs()
+}
+
+// RunWarm services warmup requests, resets counters, then services the
+// measured requests — the paper's two-phase methodology.
+func RunWarm(a Algorithm, warmup, measured []uint64) Costs {
+	for _, v := range warmup {
+		a.Access(v)
+	}
+	a.ResetCosts()
+	return Run(a, measured)
+}

@@ -1,0 +1,192 @@
+package mm
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+func TestDirectSegmentConfigValidation(t *testing.T) {
+	bad := []DirectSegmentConfig{
+		{SegmentPages: 0, TLBEntries: 4, RAMPages: 64},
+		{SegmentPages: 8, TLBEntries: 0, RAMPages: 64},
+		{SegmentPages: 64, TLBEntries: 4, RAMPages: 64},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDirectSegment(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestDirectSegmentNoTLBCostInside(t *testing.T) {
+	d, err := NewDirectSegment(DirectSegmentConfig{
+		SegmentStart: 100, SegmentPages: 50, TLBEntries: 4, RAMPages: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter accesses across the whole segment: no TLB misses at all,
+	// one IO per distinct page.
+	r := hashutil.NewRNG(1)
+	distinct := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := 100 + r.Uint64n(50)
+		distinct[v] = true
+		d.Access(v)
+	}
+	c := d.Costs()
+	if c.TLBMisses != 0 {
+		t.Fatalf("segment accesses cost %d TLB misses", c.TLBMisses)
+	}
+	if c.IOs != uint64(len(distinct)) {
+		t.Fatalf("IOs = %d, want %d (one per distinct page)", c.IOs, len(distinct))
+	}
+	if d.SegmentAccesses() != 10000 || d.PagingAccesses() != 0 {
+		t.Fatalf("traffic split wrong: %d/%d", d.SegmentAccesses(), d.PagingAccesses())
+	}
+}
+
+func TestDirectSegmentOutsidePaging(t *testing.T) {
+	d, err := NewDirectSegment(DirectSegmentConfig{
+		SegmentStart: 0, SegmentPages: 16, TLBEntries: 4, RAMPages: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the segment: conventional paging with 32−16=16 frames.
+	// Touch 32 distinct outside pages twice: first pass 32 IOs; second
+	// pass misses again for the first 16 (LRU evicted them).
+	for round := 0; round < 2; round++ {
+		for v := uint64(100); v < 132; v++ {
+			d.Access(v)
+		}
+	}
+	c := d.Costs()
+	if c.IOs != 64 {
+		t.Fatalf("IOs = %d, want 64 (16-frame LRU thrash)", c.IOs)
+	}
+	if c.TLBMisses == 0 {
+		t.Fatal("outside accesses should incur TLB misses")
+	}
+}
+
+func TestCoalescedConfigValidation(t *testing.T) {
+	bad := []CoalescedConfig{
+		{CoalesceLimit: 1, TLBEntries: 4, RAMPages: 64, VirtualPages: 256},
+		{CoalesceLimit: 3, TLBEntries: 4, RAMPages: 64, VirtualPages: 256},
+		{CoalesceLimit: 4, TLBEntries: 0, RAMPages: 64, VirtualPages: 256},
+		{CoalesceLimit: 4, TLBEntries: 4, RAMPages: 0, VirtualPages: 256},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCoalesced(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestCoalescedSequentialContiguity(t *testing.T) {
+	// Sequential faults through the stack free-list produce contiguous
+	// frames, so sequential scans should coalesce heavily.
+	m, err := NewCoalesced(CoalescedConfig{
+		CoalesceLimit: 4, TLBEntries: 16, RAMPages: 1 << 10, VirtualPages: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch pages 0..255 sequentially, then re-scan: groups of 4 should
+	// be covered by single coalesced entries.
+	for v := uint64(0); v < 256; v++ {
+		m.Access(v)
+	}
+	if m.CoalescedFills() == 0 {
+		t.Fatal("sequential faults never coalesced")
+	}
+	// Second scan: 64 groups vs 16 entries — far fewer TLB misses than
+	// the 256 a single-page TLB would take.
+	before := m.Costs().TLBMisses
+	for v := uint64(0); v < 256; v++ {
+		m.Access(v)
+	}
+	delta := m.Costs().TLBMisses - before
+	if delta > 80 {
+		t.Fatalf("re-scan TLB misses = %d; coalescing should cut them well below 256", delta)
+	}
+}
+
+func TestCoalescedScatteredNoContiguity(t *testing.T) {
+	// Scattered faults interleaved across distant regions produce little
+	// physical contiguity: most fills stay single.
+	m, err := NewCoalesced(CoalescedConfig{
+		CoalesceLimit: 4, TLBEntries: 64, RAMPages: 1 << 10, VirtualPages: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hashutil.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		m.Access(r.Uint64n(1 << 16))
+	}
+	if m.CoalescedFills() > m.SingleFills()/10 {
+		t.Fatalf("scattered workload coalesced %d vs %d single — too much contiguity by chance",
+			m.CoalescedFills(), m.SingleFills())
+	}
+}
+
+func TestCoalescedEvictionInvalidates(t *testing.T) {
+	m, err := NewCoalesced(CoalescedConfig{
+		CoalesceLimit: 4, TLBEntries: 64, RAMPages: 8, VirtualPages: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill pages 0..7 (two full groups, contiguous), then fault 8..15 to
+	// evict them; re-access 0: must fault (IO) and must not be covered by
+	// a stale group entry.
+	for v := uint64(0); v < 16; v++ {
+		m.Access(v)
+	}
+	before := m.Costs()
+	m.Access(0)
+	after := m.Costs()
+	if after.IOs != before.IOs+1 {
+		t.Fatal("evicted page did not fault on re-access")
+	}
+	if after.TLBMisses == before.TLBMisses {
+		t.Fatal("stale coalesced entry served an evicted page")
+	}
+}
+
+func TestCoalescedVsPlainTLBMisses(t *testing.T) {
+	// On a sequential-scan-heavy workload, coalescing must beat the
+	// plain h=1 baseline's TLB misses at equal entry count, with
+	// identical IOs.
+	run := func(a Algorithm) Costs {
+		for round := 0; round < 4; round++ {
+			for v := uint64(0); v < 2048; v++ {
+				a.Access(v)
+			}
+		}
+		return a.Costs()
+	}
+	co, err := NewCoalesced(CoalescedConfig{
+		CoalesceLimit: 8, TLBEntries: 128, RAMPages: 1 << 12, VirtualPages: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewHugePage(HugePageConfig{
+		HugePageSize: 1, TLBEntries: 128, RAMPages: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := run(co)
+	pc := run(plain)
+	if cc.IOs != pc.IOs {
+		t.Fatalf("IOs differ: coalesced %d, plain %d", cc.IOs, pc.IOs)
+	}
+	if cc.TLBMisses*2 > pc.TLBMisses {
+		t.Fatalf("coalesced TLB misses %d not clearly below plain %d", cc.TLBMisses, pc.TLBMisses)
+	}
+}

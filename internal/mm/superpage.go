@@ -1,0 +1,242 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// SuperpageConfig configures the reservation-based superpage baseline
+// (Navarro, Iyer, Druschel, Cox, OSDI '02 — reference [32] of the paper).
+// Unlike THP's promote-by-copying, the superpage system *reserves* a full
+// physically contiguous huge-page frame on a region's first touch, fills
+// it incrementally as base pages fault (no extra promotion IOs), and
+// promotes the mapping once every constituent page is populated. Under
+// memory pressure, unpopulated reservation frames are preempted (returned)
+// before populated pages are evicted — the "reclaim unused pages within a
+// superpage" behavior the paper describes.
+type SuperpageConfig struct {
+	// HugePageSize h: pages per reservation (power of two ≥ 2).
+	HugePageSize uint64
+	TLBEntries   int
+	RAMPages     uint64
+	Seed         uint64
+}
+
+func (c *SuperpageConfig) validate() error {
+	if c.HugePageSize < 2 || c.HugePageSize&(c.HugePageSize-1) != 0 {
+		return fmt.Errorf("mm: superpage size %d must be a power of two ≥ 2", c.HugePageSize)
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("mm: TLB entries must be positive")
+	}
+	if c.RAMPages < c.HugePageSize {
+		return fmt.Errorf("mm: RAM (%d pages) below one superpage (%d)", c.RAMPages, c.HugePageSize)
+	}
+	return nil
+}
+
+// Superpage implements the reservation-based baseline. State per region:
+//
+//   - unreserved: no RAM held.
+//   - reserved: a full h-page frame is held; `populated` of its pages are
+//     filled. RAM charge is the full h pages (the over-allocation cost
+//     the paper notes), but preemption can downgrade the region to exactly
+//     its populated pages.
+//   - downgraded: preempted regions hold only their populated pages.
+//
+// The TLB covers a reserved/downgraded region with one entry once
+// promoted (fully populated); otherwise base entries are used.
+type Superpage struct {
+	cfg SuperpageConfig
+	tlb *tlb.TLB
+	lru *policy.LRU // region ids, recency for preemption/eviction
+
+	regions map[uint64]*spRegion
+	used    uint64
+
+	costs       Costs
+	promotions  uint64
+	preemptions uint64
+}
+
+type spRegion struct {
+	populated map[uint64]bool // page offsets populated
+	reserved  bool            // full frame held (vs downgraded)
+	promoted  bool
+}
+
+var _ Algorithm = (*Superpage)(nil)
+
+// NewSuperpage builds the reservation-based baseline.
+func NewSuperpage(cfg SuperpageConfig) (*Superpage, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t, err := tlb.New(cfg.TLBEntries, policy.LRUKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Superpage{
+		cfg: cfg,
+		tlb: t,
+		// Recency tracking only: every region holds ≥ 1 page, so the
+		// region count never exceeds RAMPages and this LRU never
+		// self-evicts; page-granular capacity is enforced by makeRoom.
+		lru:     policy.NewLRU(int(cfg.RAMPages) + 1),
+		regions: make(map[uint64]*spRegion),
+	}, nil
+}
+
+// charge returns the RAM pages a region currently holds.
+func (m *Superpage) charge(reg *spRegion) uint64 {
+	if reg.reserved {
+		return m.cfg.HugePageSize
+	}
+	return uint64(len(reg.populated))
+}
+
+// makeRoom frees RAM until `need` more pages fit: first preempt the
+// least-recent *unpromoted* reservations down to their populated pages,
+// then evict whole least-recent regions.
+func (m *Superpage) makeRoom(need uint64) {
+	if m.used+need <= m.cfg.RAMPages {
+		return
+	}
+	// Pass 1: preempt reservations (cheapest — frees unpopulated pages
+	// without IO consequences).
+	keys := m.lru.Keys() // most→least recent
+	for i := len(keys) - 1; i >= 0 && m.used+need > m.cfg.RAMPages; i-- {
+		reg := m.regions[keys[i]]
+		if reg.reserved && !reg.promoted {
+			freed := m.cfg.HugePageSize - uint64(len(reg.populated))
+			reg.reserved = false
+			m.used -= freed
+			m.preemptions++
+		}
+	}
+	// Pass 2: evict whole regions, least recent first.
+	for m.used+need > m.cfg.RAMPages {
+		r, ok := m.lru.EvictLRU()
+		if !ok {
+			panic("mm: superpage cannot free enough RAM")
+		}
+		m.dropRegion(r)
+	}
+}
+
+// dropRegion releases region r entirely.
+func (m *Superpage) dropRegion(r uint64) {
+	reg := m.regions[r]
+	m.used -= m.charge(reg)
+	start := r * m.cfg.HugePageSize
+	if reg.promoted {
+		m.tlb.Invalidate(tlbHuge(r))
+	} else {
+		for off := range reg.populated {
+			m.tlb.Invalidate(tlbBase(start + off))
+		}
+	}
+	delete(m.regions, r)
+}
+
+// Access implements Algorithm.
+func (m *Superpage) Access(v uint64) {
+	m.costs.Accesses++
+	r := v / m.cfg.HugePageSize
+	off := v % m.cfg.HugePageSize
+
+	reg, ok := m.regions[r]
+	if !ok {
+		// First touch: try to reserve a full frame; if RAM is too tight
+		// even after preemption, fall back to a downgraded (page-grain)
+		// region. Reservation itself costs no IO beyond the demanded
+		// page — the frame is just claimed.
+		reg = &spRegion{populated: make(map[uint64]bool, 4)}
+		m.regions[r] = reg
+		if m.fits(m.cfg.HugePageSize) {
+			m.makeRoom(m.cfg.HugePageSize)
+			reg.reserved = true
+			m.used += m.cfg.HugePageSize
+		} else {
+			m.makeRoom(1)
+			m.used++
+		}
+		reg.populated[off] = true
+		m.costs.IOs++
+		m.lru.Access(r)
+	} else {
+		m.lru.Access(r)
+		if !reg.populated[off] {
+			// Populate one more page.
+			if !reg.reserved {
+				m.makeRoom(1)
+				// makeRoom may have evicted r itself in pathological
+				// tiny-RAM cases; re-install if so.
+				if _, still := m.regions[r]; !still {
+					m.regions[r] = reg
+					reg.populated = map[uint64]bool{}
+					m.lru.Access(r)
+				}
+				m.used++
+			}
+			reg.populated[off] = true
+			m.costs.IOs++
+		}
+	}
+
+	// Promotion: a fully populated reservation becomes a superpage.
+	if reg.reserved && !reg.promoted && uint64(len(reg.populated)) == m.cfg.HugePageSize {
+		reg.promoted = true
+		m.promotions++
+		start := r * m.cfg.HugePageSize
+		for o := uint64(0); o < m.cfg.HugePageSize; o++ {
+			m.tlb.Invalidate(tlbBase(start + o))
+		}
+	}
+
+	var key uint64
+	if reg.promoted {
+		key = tlbHuge(r)
+	} else {
+		key = tlbBase(v)
+	}
+	if _, ok := m.tlb.Lookup(key); !ok {
+		m.costs.TLBMisses++
+		m.tlb.Insert(key, tlb.Entry{})
+	}
+}
+
+// fits reports whether `pages` more pages could fit after preempting every
+// unpromoted reservation (i.e. whether reservation is worth attempting).
+func (m *Superpage) fits(pages uint64) bool {
+	reclaimable := uint64(0)
+	for _, reg := range m.regions {
+		if reg.reserved && !reg.promoted {
+			reclaimable += m.cfg.HugePageSize - uint64(len(reg.populated))
+		}
+	}
+	return m.used-reclaimable+pages <= m.cfg.RAMPages
+}
+
+// Costs implements Algorithm.
+func (m *Superpage) Costs() Costs { return m.costs }
+
+// ResetCosts implements Algorithm.
+func (m *Superpage) ResetCosts() {
+	m.costs = Costs{}
+	m.tlb.ResetCounters()
+}
+
+// Name implements Algorithm.
+func (m *Superpage) Name() string {
+	return fmt.Sprintf("superpage(h=%d)", m.cfg.HugePageSize)
+}
+
+// Promotions and Preemptions report adaptive activity.
+func (m *Superpage) Promotions() uint64 { return m.promotions }
+
+// Preemptions reports how many reservations were downgraded under
+// memory pressure.
+func (m *Superpage) Preemptions() uint64 { return m.preemptions }

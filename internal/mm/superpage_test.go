@@ -1,0 +1,150 @@
+package mm
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+func TestSuperpageConfigValidation(t *testing.T) {
+	bad := []SuperpageConfig{
+		{HugePageSize: 1, TLBEntries: 4, RAMPages: 64},
+		{HugePageSize: 6, TLBEntries: 4, RAMPages: 64},
+		{HugePageSize: 8, TLBEntries: 0, RAMPages: 64},
+		{HugePageSize: 8, TLBEntries: 4, RAMPages: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSuperpage(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestSuperpageNoPromotionIOs(t *testing.T) {
+	// Unlike THP, populating a reservation page-by-page costs exactly one
+	// IO per demanded page — promotion is free.
+	m, err := NewSuperpage(SuperpageConfig{HugePageSize: 8, TLBEntries: 16, RAMPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		m.Access(v)
+	}
+	if m.Costs().IOs != 8 {
+		t.Fatalf("IOs = %d, want 8 (one per demanded page)", m.Costs().IOs)
+	}
+	if m.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1 after full population", m.Promotions())
+	}
+	// Promoted region: further accesses hit one huge TLB entry.
+	m.ResetCosts()
+	for v := uint64(0); v < 8; v++ {
+		m.Access(v)
+	}
+	if m.Costs().IOs != 0 {
+		t.Fatalf("promoted region faulted: %d IOs", m.Costs().IOs)
+	}
+	if m.Costs().TLBMisses > 1 {
+		t.Fatalf("TLB misses = %d, want ≤ 1 (single huge entry)", m.Costs().TLBMisses)
+	}
+}
+
+func TestSuperpageOverAllocation(t *testing.T) {
+	// A reservation charges the full h pages even when sparsely
+	// populated — the RAM-waste downside the paper describes.
+	m, err := NewSuperpage(SuperpageConfig{HugePageSize: 16, TLBEntries: 16, RAMPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Access(0) // one page touched, 16 reserved
+	if m.used != 16 {
+		t.Fatalf("used = %d, want 16 (full reservation)", m.used)
+	}
+}
+
+func TestSuperpagePreemption(t *testing.T) {
+	// RAM 32, h=16: two sparse reservations fill RAM; a third first-touch
+	// must preempt the least-recent reservation rather than evict it.
+	m, err := NewSuperpage(SuperpageConfig{HugePageSize: 16, TLBEntries: 32, RAMPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Access(0)  // region 0 reserved (16)
+	m.Access(16) // region 1 reserved (16) — RAM full
+	m.Access(32) // region 2: must preempt region 0 (LRU) to reserve
+	if m.Preemptions() == 0 {
+		t.Fatal("expected a preemption under reservation pressure")
+	}
+	// Region 0's populated page must still be resident (preemption only
+	// reclaims unpopulated pages).
+	before := m.Costs().IOs
+	m.Access(0)
+	if m.Costs().IOs != before {
+		t.Fatal("preemption evicted a populated page")
+	}
+	if m.used > 32 {
+		t.Fatalf("used = %d exceeds RAM", m.used)
+	}
+}
+
+func TestSuperpageRAMAccounting(t *testing.T) {
+	m, err := NewSuperpage(SuperpageConfig{HugePageSize: 8, TLBEntries: 16, RAMPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hashutil.NewRNG(3)
+	for i := 0; i < 30000; i++ {
+		m.Access(r.Uint64n(1024))
+		if m.used > 64 {
+			t.Fatalf("step %d: used %d > RAM 64", i, m.used)
+		}
+	}
+	// Recount from the region map.
+	var recount uint64
+	for _, reg := range m.regions {
+		recount += m.charge(reg)
+	}
+	if recount != m.used {
+		t.Fatalf("used=%d, regions say %d", m.used, recount)
+	}
+}
+
+func TestSuperpageVsTHPIOs(t *testing.T) {
+	// On a sparse workload (touch 2 of every h pages), superpage
+	// reservations cost no fill IOs while THP's copy-promotion does.
+	const h = 16
+	touch := func(a Algorithm) Costs {
+		for region := uint64(0); region < 32; region++ {
+			a.Access(region*h + 0)
+			a.Access(region*h + 1)
+		}
+		return a.Costs()
+	}
+	sp, err := NewSuperpage(SuperpageConfig{HugePageSize: h, TLBEntries: 64, RAMPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thp, err := NewTHP(THPConfig{HugePageSize: h, PromoteThreshold: 2, TLBEntries: 64, RAMPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := touch(sp)
+	ct := touch(thp)
+	if cs.IOs >= ct.IOs {
+		t.Fatalf("superpage IOs %d should be below copy-promoting THP's %d", cs.IOs, ct.IOs)
+	}
+	if cs.IOs != 64 {
+		t.Fatalf("superpage IOs = %d, want 64 (demand only)", cs.IOs)
+	}
+}
+
+func TestSuperpageResetCosts(t *testing.T) {
+	m, _ := NewSuperpage(SuperpageConfig{HugePageSize: 4, TLBEntries: 8, RAMPages: 64})
+	for v := uint64(0); v < 50; v++ {
+		m.Access(v)
+	}
+	m.ResetCosts()
+	if c := m.Costs(); c.IOs != 0 || c.TLBMisses != 0 || c.Accesses != 0 {
+		t.Fatalf("not reset: %+v", c)
+	}
+}

@@ -1,0 +1,227 @@
+package mm
+
+import (
+	"fmt"
+
+	"addrxlat/internal/policy"
+	"addrxlat/internal/tlb"
+)
+
+// THPConfig configures the transparent-huge-page baseline: an OS-style
+// adaptive policy (cf. Linux THP, discussed in the paper's Section 7) that
+// promotes a huge-page region to a physically contiguous huge page once
+// enough of its base pages are resident, and demotes it wholesale on
+// eviction.
+type THPConfig struct {
+	// HugePageSize h: pages per promotable region (power of two ≥ 2).
+	HugePageSize uint64
+	// PromoteThreshold: a region is promoted when this many of its base
+	// pages are simultaneously resident. 0 defaults to h/2 (Linux's
+	// max_ptes_none default allows promotion at half-utilization).
+	PromoteThreshold int
+	// TLBEntries, RAMPages, Seed as elsewhere.
+	TLBEntries int
+	RAMPages   uint64
+	Seed       uint64
+}
+
+func (c *THPConfig) validate() error {
+	if c.HugePageSize < 2 || c.HugePageSize&(c.HugePageSize-1) != 0 {
+		return fmt.Errorf("mm: THP huge-page size %d must be a power of two ≥ 2", c.HugePageSize)
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("mm: TLB entries must be positive")
+	}
+	if c.RAMPages < c.HugePageSize {
+		return fmt.Errorf("mm: RAM (%d pages) below one huge page (%d)", c.RAMPages, c.HugePageSize)
+	}
+	if c.PromoteThreshold == 0 {
+		c.PromoteThreshold = int(c.HugePageSize / 2)
+	}
+	if c.PromoteThreshold < 1 || c.PromoteThreshold > int(c.HugePageSize) {
+		return fmt.Errorf("mm: promote threshold %d outside [1, %d]", c.PromoteThreshold, c.HugePageSize)
+	}
+	return nil
+}
+
+// THP is the adaptive mixed-page-size baseline. RAM is tracked in *units*:
+// a unit is either a single base page or a whole promoted region. Units
+// live in one LRU; evicting a promoted region frees (and demotes) the
+// whole region — the indivisible-mapping-unit behavior the paper's
+// Section 7 calls out as THP's swapping-cost problem.
+//
+// TLB keys distinguish base-page entries (covering 1 page) from huge
+// entries (covering h pages); promotion invalidates the region's base
+// entries, modeling the shootdown.
+type THP struct {
+	cfg THPConfig
+	tlb *tlb.TLB
+	ram *policy.LRU // keys are unit ids (see unitBase/unitHuge)
+
+	resident map[uint64]uint64 // region -> count of resident base pages (unpromoted regions only)
+	promoted map[uint64]bool   // region -> promoted?
+	used     uint64            // resident base pages across all units
+
+	costs      Costs
+	promotions uint64
+	demotions  uint64
+}
+
+var _ Algorithm = (*THP)(nil)
+
+// Unit-id tagging: base pages and promoted regions share the LRU keyspace.
+func unitBase(v uint64) uint64    { return v << 1 }
+func unitHuge(r uint64) uint64    { return r<<1 | 1 }
+func isHugeUnit(id uint64) bool   { return id&1 == 1 }
+func unitRegion(id uint64) uint64 { return id >> 1 }
+
+// TLB keys get the same tagging (a huge entry and a base entry must not
+// collide).
+func tlbBase(v uint64) uint64 { return v << 1 }
+func tlbHuge(r uint64) uint64 { return r<<1 | 1 }
+
+// NewTHP builds the adaptive baseline.
+func NewTHP(cfg THPConfig) (*THP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t, err := tlb.New(cfg.TLBEntries, policy.LRUKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &THP{
+		cfg:      cfg,
+		tlb:      t,
+		ram:      policy.NewLRU(int(cfg.RAMPages)), // capacity checked in pages manually
+		resident: make(map[uint64]uint64),
+		promoted: make(map[uint64]bool),
+	}, nil
+}
+
+// pagesOf returns the RAM footprint of a unit.
+func (m *THP) pagesOf(id uint64) uint64 {
+	if isHugeUnit(id) {
+		return m.cfg.HugePageSize
+	}
+	return 1
+}
+
+// evictUntilFits evicts LRU units until `need` more pages fit in RAM.
+func (m *THP) evictUntilFits(need uint64) {
+	for m.used+need > m.cfg.RAMPages {
+		id, ok := m.ram.EvictLRU()
+		if !ok {
+			panic("mm: THP cannot free enough RAM")
+		}
+		m.dropUnit(id)
+	}
+}
+
+// dropUnit releases a unit's pages and TLB entries.
+func (m *THP) dropUnit(id uint64) {
+	m.used -= m.pagesOf(id)
+	if isHugeUnit(id) {
+		r := unitRegion(id)
+		delete(m.promoted, r)
+		m.demotions++
+		m.tlb.Invalidate(tlbHuge(r))
+	} else {
+		v := unitRegion(id) // same shift
+		r := v / m.cfg.HugePageSize
+		if m.resident[r] <= 1 {
+			delete(m.resident, r)
+		} else {
+			m.resident[r]--
+		}
+		m.tlb.Invalidate(tlbBase(v))
+	}
+}
+
+// Access implements Algorithm.
+func (m *THP) Access(v uint64) {
+	m.costs.Accesses++
+	r := v / m.cfg.HugePageSize
+
+	var tlbKey uint64
+	if m.promoted[r] {
+		// Promoted region: touch the huge unit.
+		m.ram.Access(unitHuge(r)) // always a hit; refreshes recency
+		tlbKey = tlbHuge(r)
+	} else {
+		id := unitBase(v)
+		if !m.ram.Contains(id) {
+			// Base-page fault: one IO.
+			m.costs.IOs++
+			m.evictUntilFits(1)
+			m.ram.Access(id)
+			m.used++
+			m.resident[r]++
+			// Promotion check.
+			if int(m.resident[r]) >= m.cfg.PromoteThreshold {
+				m.promote(r)
+				tlbKey = tlbHuge(r)
+			} else {
+				tlbKey = tlbBase(v)
+			}
+		} else {
+			m.ram.Access(id)
+			tlbKey = tlbBase(v)
+		}
+	}
+
+	if _, ok := m.tlb.Lookup(tlbKey); !ok {
+		m.costs.TLBMisses++
+		m.tlb.Insert(tlbKey, tlb.Entry{})
+	}
+}
+
+// promote converts region r into a physically contiguous huge page:
+// fetch its missing base pages (IO amplification), retire the base units,
+// and install the huge unit.
+func (m *THP) promote(r uint64) {
+	have := m.resident[r]
+	missing := m.cfg.HugePageSize - have
+	m.costs.IOs += missing
+
+	// Retire the region's base units (their pages fold into the huge
+	// unit) and their base TLB entries.
+	start := r * m.cfg.HugePageSize
+	for v := start; v < start+m.cfg.HugePageSize; v++ {
+		id := unitBase(v)
+		if m.ram.Remove(id) {
+			m.used--
+			m.tlb.Invalidate(tlbBase(v))
+		}
+	}
+	delete(m.resident, r)
+
+	// Make room for the full huge page and install it.
+	m.evictUntilFits(m.cfg.HugePageSize)
+	m.ram.Access(unitHuge(r))
+	m.used += m.cfg.HugePageSize
+	m.promoted[r] = true
+	m.promotions++
+}
+
+// Costs implements Algorithm.
+func (m *THP) Costs() Costs { return m.costs }
+
+// ResetCosts implements Algorithm.
+func (m *THP) ResetCosts() {
+	m.costs = Costs{}
+	m.tlb.ResetCounters()
+}
+
+// Name implements Algorithm.
+func (m *THP) Name() string {
+	return fmt.Sprintf("thp(h=%d,promote@%d)", m.cfg.HugePageSize, m.cfg.PromoteThreshold)
+}
+
+// Promotions and Demotions report adaptive-policy activity.
+func (m *THP) Promotions() uint64 { return m.promotions }
+
+// Demotions reports how many promoted regions were evicted wholesale.
+func (m *THP) Demotions() uint64 { return m.demotions }
+
+// PromotedRegions reports the current number of promoted regions.
+func (m *THP) PromotedRegions() int { return len(m.promoted) }

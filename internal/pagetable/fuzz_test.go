@@ -1,0 +1,40 @@
+package pagetable
+
+import "testing"
+
+// FuzzMapUnmapTranslate drives random map/unmap/translate schedules
+// against a map-based model.
+func FuzzMapUnmapTranslate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 5})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		pt := New(1 << 20)
+		model := map[uint64]uint64{}
+		var acc uint64
+		for i, b := range ops {
+			acc = acc*167 + uint64(b)
+			v := acc % (1 << 20)
+			switch b % 3 {
+			case 0: // map or unmap toggle
+				if _, ok := model[v]; ok {
+					pt.Unmap(v)
+					delete(model, v)
+				} else {
+					pt.Map(v, acc>>3)
+					model[v] = acc >> 3
+				}
+			default: // translate
+				phys, ok := pt.Translate(v)
+				want, wok := model[v]
+				if ok != wok {
+					t.Fatalf("op %d: Translate(%d) ok=%v, model %v", i, v, ok, wok)
+				}
+				if ok && phys != want {
+					t.Fatalf("op %d: Translate(%d) = %d, model %d", i, v, phys, want)
+				}
+			}
+		}
+		if pt.Entries() != uint64(len(model)) {
+			t.Fatalf("Entries = %d, model %d", pt.Entries(), len(model))
+		}
+	})
+}

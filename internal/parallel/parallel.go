@@ -1,0 +1,97 @@
+// Package parallel provides the small deterministic fan-out primitives the
+// experiment harness is built on: bounded worker pools whose results land
+// in order-stable slots, so concurrent parameter sweeps produce identical
+// tables run after run.
+//
+// Simulations themselves are single-goroutine and seeded; parallelism
+// lives strictly at the sweep level (one task per parameter point), which
+// keeps every number reproducible while using all cores.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (workers ≤ 0 means GOMAXPROCS). It returns the error from the
+// lowest-indexed failing task, after all tasks have finished — partial
+// sweeps are never silently reported as complete.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = safeCall(fn, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeCall invokes fn(i), converting a panic into an error so one bad
+// parameter point cannot take down a whole sweep.
+func safeCall(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn over [0, n) and collects the results in index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Reduce runs fn over [0, n) and folds the results with combine, applied
+// in strictly ascending index order (deterministic regardless of
+// completion order).
+func Reduce[T, A any](n, workers int, zero A, fn func(i int) (T, error), combine func(A, T) A) (A, error) {
+	vals, err := Map(n, workers, fn)
+	if err != nil {
+		return zero, err
+	}
+	acc := zero
+	for _, v := range vals {
+		acc = combine(acc, v)
+	}
+	return acc, nil
+}

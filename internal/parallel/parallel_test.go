@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	hit := make([]int32, 1000)
+	err := ForEach(1000, 8, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&hit[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", count)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal("n=0 should be a no-op")
+	}
+	if err := ForEach(-5, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal("negative n should be a no-op")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	if err := ForEach(100, 0, func(int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("ran %d", count)
+	}
+}
+
+func TestForEachLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(100, 8, func(i int) error {
+		switch i {
+		case 70:
+			return errB
+		case 20:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want lowest-indexed error %v", err, errA)
+	}
+}
+
+func TestForEachAllTasksRunDespiteError(t *testing.T) {
+	var count int64
+	ForEach(50, 4, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if count != 50 {
+		t.Fatalf("only %d tasks ran; errors must not cancel the sweep", count)
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	err := ForEach(10, 4, func(i int) error {
+		if i == 3 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "parallel: task 3 panicked: boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	got, err := Map(100, 7, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Map(10, 2, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	}); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	// String concatenation is order-sensitive; Reduce must fold in index
+	// order no matter how tasks interleave.
+	for trial := 0; trial < 20; trial++ {
+		got, err := Reduce(26, 9, "",
+			func(i int) (string, error) { return string(rune('a' + i)), nil },
+			func(acc, s string) string { return acc + s })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "abcdefghijklmnopqrstuvwxyz" {
+			t.Fatalf("trial %d: %q", trial, got)
+		}
+	}
+}
+
+func TestReduceError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Reduce(5, 2, 0,
+		func(i int) (int, error) { return 0, boom },
+		func(a, b int) int { return a + b })
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 0, func(int) error { return nil })
+	}
+}

@@ -1,0 +1,90 @@
+package policy
+
+// Clock is the classic second-chance approximation of LRU: entries sit in a
+// circular buffer with a reference bit; the hand sweeps, clearing bits,
+// and evicts the first entry whose bit is already clear.
+type Clock struct {
+	capacity int
+	slots    []clockSlot
+	index    map[uint64]int // key -> slot
+	hand     int
+	used     int
+}
+
+type clockSlot struct {
+	key      uint64
+	ref      bool
+	occupied bool
+}
+
+var _ Policy = (*Clock)(nil)
+
+// NewClock returns a CLOCK cache with the given capacity (> 0).
+func NewClock(capacity int) *Clock {
+	if capacity <= 0 {
+		panic("policy: Clock capacity must be positive")
+	}
+	return &Clock{
+		capacity: capacity,
+		slots:    make([]clockSlot, capacity),
+		index:    make(map[uint64]int, capacity),
+	}
+}
+
+// Access implements Policy.
+func (c *Clock) Access(key uint64) (hit bool, victim uint64) {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = true
+		return true, NoEviction
+	}
+	victim = NoEviction
+	var slot int
+	if c.used < c.capacity {
+		// Find the next free slot; with used < capacity one must exist.
+		for c.slots[c.hand].occupied {
+			c.hand = (c.hand + 1) % c.capacity
+		}
+		slot = c.hand
+		c.used++
+	} else {
+		// Sweep: clear reference bits until we find a clear one.
+		for c.slots[c.hand].ref {
+			c.slots[c.hand].ref = false
+			c.hand = (c.hand + 1) % c.capacity
+		}
+		slot = c.hand
+		victim = c.slots[slot].key
+		delete(c.index, victim)
+	}
+	c.slots[slot] = clockSlot{key: key, ref: false, occupied: true}
+	c.index[key] = slot
+	c.hand = (slot + 1) % c.capacity
+	return false, victim
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(key uint64) bool {
+	i, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.slots[i] = clockSlot{}
+	delete(c.index, key)
+	c.used--
+	return true
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.used }
+
+// Cap implements Policy.
+func (c *Clock) Cap() int { return c.capacity }
+
+// Name implements Policy.
+func (c *Clock) Name() string { return string(ClockKind) }

@@ -1,0 +1,68 @@
+package policy
+
+// FIFO evicts the key that has been cached longest, ignoring recency of
+// access. Like LRU it is k-competitive for classical paging.
+type FIFO struct {
+	capacity int
+	items    map[uint64]*node
+	order    list // front = newest arrival, back = oldest arrival
+}
+
+var _ Policy = (*FIFO)(nil)
+
+// NewFIFO returns a FIFO cache with the given capacity (> 0).
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic("policy: FIFO capacity must be positive")
+	}
+	f := &FIFO{
+		capacity: capacity,
+		items:    make(map[uint64]*node, capacity),
+	}
+	f.order.init()
+	return f
+}
+
+// Access implements Policy.
+func (f *FIFO) Access(key uint64) (hit bool, victim uint64) {
+	if _, ok := f.items[key]; ok {
+		return true, NoEviction
+	}
+	victim = NoEviction
+	if len(f.items) >= f.capacity {
+		v := f.order.back()
+		f.order.remove(v)
+		delete(f.items, v.key)
+		victim = v.key
+	}
+	n := &node{key: key}
+	f.order.pushFront(n)
+	f.items[key] = n
+	return false, victim
+}
+
+// Contains implements Policy.
+func (f *FIFO) Contains(key uint64) bool {
+	_, ok := f.items[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (f *FIFO) Remove(key uint64) bool {
+	n, ok := f.items[key]
+	if !ok {
+		return false
+	}
+	f.order.remove(n)
+	delete(f.items, key)
+	return true
+}
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return len(f.items) }
+
+// Cap implements Policy.
+func (f *FIFO) Cap() int { return f.capacity }
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return string(FIFOKind) }

@@ -1,0 +1,160 @@
+package policy
+
+// LFU evicts the least-frequently-used key, breaking frequency ties by
+// least-recent use. Implemented with the O(1) frequency-bucket scheme:
+// a doubly-linked list of frequency buckets, each holding an LRU-ordered
+// list of its keys.
+type LFU struct {
+	capacity int
+	items    map[uint64]*lfuEntry
+	freqHead *freqBucket // ascending frequency order
+}
+
+type lfuEntry struct {
+	key        uint64
+	bucket     *freqBucket
+	prev, next *lfuEntry // within the bucket; next = more recent
+}
+
+type freqBucket struct {
+	freq       uint64
+	head, tail *lfuEntry // head = least recent in this bucket
+	prev, next *freqBucket
+	size       int
+}
+
+var _ Policy = (*LFU)(nil)
+
+// NewLFU returns an LFU cache with the given capacity (> 0).
+func NewLFU(capacity int) *LFU {
+	if capacity <= 0 {
+		panic("policy: LFU capacity must be positive")
+	}
+	return &LFU{
+		capacity: capacity,
+		items:    make(map[uint64]*lfuEntry, capacity),
+	}
+}
+
+// bucketAfter returns the bucket with frequency freq positioned after prev
+// (nil prev means list head), creating it if necessary.
+func (l *LFU) bucketAfter(prev *freqBucket, freq uint64) *freqBucket {
+	var next *freqBucket
+	if prev == nil {
+		next = l.freqHead
+	} else {
+		next = prev.next
+	}
+	if next != nil && next.freq == freq {
+		return next
+	}
+	b := &freqBucket{freq: freq, prev: prev, next: next}
+	if prev == nil {
+		l.freqHead = b
+	} else {
+		prev.next = b
+	}
+	if next != nil {
+		next.prev = b
+	}
+	return b
+}
+
+func (l *LFU) removeBucketIfEmpty(b *freqBucket) {
+	if b.size > 0 {
+		return
+	}
+	if b.prev == nil {
+		l.freqHead = b.next
+	} else {
+		b.prev.next = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}
+
+// appendEntry adds e as the most recent member of bucket b.
+func appendEntry(b *freqBucket, e *lfuEntry) {
+	e.bucket = b
+	e.prev = b.tail
+	e.next = nil
+	if b.tail != nil {
+		b.tail.next = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+	b.size++
+}
+
+// unlinkEntry removes e from its bucket (does not delete the bucket).
+func unlinkEntry(e *lfuEntry) {
+	b := e.bucket
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	b.size--
+}
+
+// Access implements Policy.
+func (l *LFU) Access(key uint64) (hit bool, victim uint64) {
+	if e, ok := l.items[key]; ok {
+		old := e.bucket
+		unlinkEntry(e)
+		nb := l.bucketAfter(old, old.freq+1)
+		l.removeBucketIfEmpty(old)
+		appendEntry(nb, e)
+		return true, NoEviction
+	}
+	victim = NoEviction
+	if len(l.items) >= l.capacity {
+		vb := l.freqHead // lowest frequency bucket
+		ve := vb.head    // least recent within it
+		victim = ve.key
+		unlinkEntry(ve)
+		l.removeBucketIfEmpty(vb)
+		delete(l.items, victim)
+	}
+	e := &lfuEntry{key: key}
+	b := l.bucketAfter(nil, 1)
+	appendEntry(b, e)
+	l.items[key] = e
+	return false, victim
+}
+
+// Contains implements Policy.
+func (l *LFU) Contains(key uint64) bool {
+	_, ok := l.items[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (l *LFU) Remove(key uint64) bool {
+	e, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	b := e.bucket
+	unlinkEntry(e)
+	l.removeBucketIfEmpty(b)
+	delete(l.items, key)
+	return true
+}
+
+// Len implements Policy.
+func (l *LFU) Len() int { return len(l.items) }
+
+// Cap implements Policy.
+func (l *LFU) Cap() int { return l.capacity }
+
+// Name implements Policy.
+func (l *LFU) Name() string { return string(LFUKind) }

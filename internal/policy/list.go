@@ -1,0 +1,67 @@
+package policy
+
+// node is an intrusive doubly-linked list node used by the recency-ordered
+// policies (LRU, MRU, FIFO). We keep our own list rather than using
+// container/list to avoid an interface{} box per entry: simulations touch
+// these structures hundreds of millions of times.
+type node struct {
+	key        uint64
+	prev, next *node
+}
+
+// list is a doubly-linked list with a sentinel head. head.next is the
+// front (most recent), head.prev is the back (least recent).
+type list struct {
+	head node
+	size int
+}
+
+func (l *list) init() {
+	l.head.prev = &l.head
+	l.head.next = &l.head
+	l.size = 0
+}
+
+func (l *list) pushFront(n *node) {
+	n.prev = &l.head
+	n.next = l.head.next
+	l.head.next.prev = n
+	l.head.next = n
+	l.size++
+}
+
+func (l *list) pushBack(n *node) {
+	n.next = &l.head
+	n.prev = l.head.prev
+	l.head.prev.next = n
+	l.head.prev = n
+	l.size++
+}
+
+func (l *list) remove(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	l.size--
+}
+
+func (l *list) moveToFront(n *node) {
+	l.remove(n)
+	l.pushFront(n)
+}
+
+// front returns the most recently pushed-front node, or nil if empty.
+func (l *list) front() *node {
+	if l.size == 0 {
+		return nil
+	}
+	return l.head.next
+}
+
+// back returns the oldest node, or nil if empty.
+func (l *list) back() *node {
+	if l.size == 0 {
+		return nil
+	}
+	return l.head.prev
+}

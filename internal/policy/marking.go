@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"sort"
+
+	"addrxlat/internal/hashutil"
+)
+
+// Marking implements the randomized marking algorithm of Fiat, Karp, Luby,
+// McGeoch, Sleator and Young ("Competitive paging algorithms", 1991 —
+// reference [22] of the paper): on a hit, mark the page; on a miss with a
+// full cache, evict a uniformly random *unmarked* page, starting a new
+// phase (unmarking everything) when all pages are marked. It is
+// Θ(log k)-competitive against oblivious adversaries — the best possible
+// for randomized paging — and serves as the randomized-theory
+// counterpoint to LRU in policy comparisons.
+type Marking struct {
+	capacity int
+	rng      *hashutil.RNG
+
+	marked   map[uint64]bool
+	unmarked []uint64       // dense array for O(1) random eviction
+	pos      map[uint64]int // key -> index in unmarked (only if unmarked)
+}
+
+var _ Policy = (*Marking)(nil)
+
+// NewMarking returns a randomized marking cache with the given capacity.
+func NewMarking(capacity int, seed uint64) *Marking {
+	if capacity <= 0 {
+		panic("policy: Marking capacity must be positive")
+	}
+	return &Marking{
+		capacity: capacity,
+		rng:      hashutil.NewRNG(seed),
+		marked:   make(map[uint64]bool, capacity),
+		pos:      make(map[uint64]int, capacity),
+	}
+}
+
+// cached reports whether key is resident (marked or unmarked).
+func (m *Marking) cached(key uint64) bool {
+	if _, ok := m.marked[key]; ok {
+		return true
+	}
+	_, ok := m.pos[key]
+	return ok
+}
+
+// mark moves key from the unmarked set to the marked set.
+func (m *Marking) mark(key uint64) {
+	if i, ok := m.pos[key]; ok {
+		last := len(m.unmarked) - 1
+		m.unmarked[i] = m.unmarked[last]
+		m.pos[m.unmarked[i]] = i
+		m.unmarked = m.unmarked[:last]
+		delete(m.pos, key)
+	}
+	m.marked[key] = true
+}
+
+// newPhase unmarks every resident page. Keys are transferred in sorted
+// order so the subsequent random victim choices are a function of the
+// seed alone (map iteration order would inject nondeterminism).
+func (m *Marking) newPhase() {
+	start := len(m.unmarked)
+	for k := range m.marked {
+		m.unmarked = append(m.unmarked, k)
+		delete(m.marked, k)
+	}
+	fresh := m.unmarked[start:]
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	for i, k := range fresh {
+		m.pos[k] = start + i
+	}
+}
+
+// Access implements Policy.
+func (m *Marking) Access(key uint64) (hit bool, victim uint64) {
+	victim = NoEviction
+	if m.cached(key) {
+		m.mark(key)
+		return true, NoEviction
+	}
+	if m.Len() >= m.capacity {
+		if len(m.unmarked) == 0 {
+			// All marked: phase ends.
+			m.newPhase()
+		}
+		i := m.rng.Intn(len(m.unmarked))
+		victim = m.unmarked[i]
+		last := len(m.unmarked) - 1
+		m.unmarked[i] = m.unmarked[last]
+		m.pos[m.unmarked[i]] = i
+		m.unmarked = m.unmarked[:last]
+		delete(m.pos, victim)
+	}
+	m.marked[key] = true
+	return false, victim
+}
+
+// Contains implements Policy.
+func (m *Marking) Contains(key uint64) bool { return m.cached(key) }
+
+// Remove implements Policy.
+func (m *Marking) Remove(key uint64) bool {
+	if _, ok := m.marked[key]; ok {
+		delete(m.marked, key)
+		return true
+	}
+	if i, ok := m.pos[key]; ok {
+		last := len(m.unmarked) - 1
+		m.unmarked[i] = m.unmarked[last]
+		m.pos[m.unmarked[i]] = i
+		m.unmarked = m.unmarked[:last]
+		delete(m.pos, key)
+		return true
+	}
+	return false
+}
+
+// Len implements Policy.
+func (m *Marking) Len() int { return len(m.marked) + len(m.unmarked) }
+
+// Cap implements Policy.
+func (m *Marking) Cap() int { return m.capacity }
+
+// Name implements Policy.
+func (m *Marking) Name() string { return string(MarkingKind) }
+
+// MarkedCount exposes the marked-page count for tests.
+func (m *Marking) MarkedCount() int { return len(m.marked) }

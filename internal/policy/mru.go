@@ -1,0 +1,72 @@
+package policy
+
+// MRU evicts the most-recently-used key. MRU is a poor general-purpose
+// policy but optimal for cyclic scans slightly larger than the cache; it is
+// included so experiments can show policy choice is orthogonal to the
+// decoupling machinery (any oblivious policy plugs in).
+type MRU struct {
+	capacity int
+	items    map[uint64]*node
+	order    list // front = most recent
+}
+
+var _ Policy = (*MRU)(nil)
+
+// NewMRU returns an MRU cache with the given capacity (> 0).
+func NewMRU(capacity int) *MRU {
+	if capacity <= 0 {
+		panic("policy: MRU capacity must be positive")
+	}
+	m := &MRU{
+		capacity: capacity,
+		items:    make(map[uint64]*node, capacity),
+	}
+	m.order.init()
+	return m
+}
+
+// Access implements Policy.
+func (m *MRU) Access(key uint64) (hit bool, victim uint64) {
+	if n, ok := m.items[key]; ok {
+		m.order.moveToFront(n)
+		return true, NoEviction
+	}
+	victim = NoEviction
+	if len(m.items) >= m.capacity {
+		// Evict the most recently used key — the front of the list.
+		v := m.order.front()
+		m.order.remove(v)
+		delete(m.items, v.key)
+		victim = v.key
+	}
+	n := &node{key: key}
+	m.order.pushFront(n)
+	m.items[key] = n
+	return false, victim
+}
+
+// Contains implements Policy.
+func (m *MRU) Contains(key uint64) bool {
+	_, ok := m.items[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (m *MRU) Remove(key uint64) bool {
+	n, ok := m.items[key]
+	if !ok {
+		return false
+	}
+	m.order.remove(n)
+	delete(m.items, key)
+	return true
+}
+
+// Len implements Policy.
+func (m *MRU) Len() int { return len(m.items) }
+
+// Cap implements Policy.
+func (m *MRU) Cap() int { return m.capacity }
+
+// Name implements Policy.
+func (m *MRU) Name() string { return string(MRUKind) }

@@ -1,0 +1,102 @@
+package policy
+
+import "container/heap"
+
+// OPT is Belady's offline-optimal replacement policy: evict the cached key
+// whose next use is farthest in the future. It needs the whole request
+// sequence up front, so it does not implement the online Policy interface;
+// instead OptMisses computes the optimal miss count directly. Experiments
+// use it as the lower bound that online policies are compared against
+// (Sleator–Tarjan competitiveness).
+//
+// Implementation: single forward pass with a max-heap of (next-use, key)
+// using precomputed next-use indices; lazy deletion handles stale heap
+// entries. Runs in O(n log k) time and O(n) space.
+
+// OptMisses returns the number of misses Belady's optimal algorithm incurs
+// servicing requests with a cache of the given capacity. It returns 0 for
+// an empty request slice and panics if capacity <= 0.
+func OptMisses(requests []uint64, capacity int) uint64 {
+	if capacity <= 0 {
+		panic("policy: OptMisses capacity must be positive")
+	}
+	n := len(requests)
+	if n == 0 {
+		return 0
+	}
+
+	// nextUse[i] = index of the next occurrence of requests[i] after i,
+	// or n (infinity) if there is none.
+	nextUse := make([]int, n)
+	last := make(map[uint64]int, capacity)
+	for i := n - 1; i >= 0; i-- {
+		if j, ok := last[requests[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = n
+		}
+		last[requests[i]] = i
+	}
+
+	cached := make(map[uint64]int, capacity) // key -> its current next-use
+	h := &optHeap{}
+	heap.Init(h)
+
+	var misses uint64
+	for i, key := range requests {
+		if _, ok := cached[key]; ok {
+			// Hit: refresh the key's next use; the old heap entry goes
+			// stale and is skipped lazily.
+			cached[key] = nextUse[i]
+			heap.Push(h, optItem{next: nextUse[i], key: key})
+			continue
+		}
+		misses++
+		if len(cached) >= capacity {
+			// Pop until we find a live entry (one whose next-use matches
+			// the cached map — otherwise it is stale).
+			for {
+				top := heap.Pop(h).(optItem)
+				if cur, ok := cached[top.key]; ok && cur == top.next {
+					delete(cached, top.key)
+					break
+				}
+			}
+		}
+		cached[key] = nextUse[i]
+		heap.Push(h, optItem{next: nextUse[i], key: key})
+	}
+	return misses
+}
+
+type optItem struct {
+	next int
+	key  uint64
+}
+
+// optHeap is a max-heap on next-use index.
+type optHeap []optItem
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].next > h[j].next }
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optItem)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Misses runs an online policy over a request slice and returns its miss
+// count. A convenience used throughout tests and experiments.
+func Misses(p Policy, requests []uint64) uint64 {
+	var misses uint64
+	for _, r := range requests {
+		if hit, _ := p.Access(r); !hit {
+			misses++
+		}
+	}
+	return misses
+}

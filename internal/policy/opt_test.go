@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"addrxlat/internal/hashutil"
+)
+
+// bruteOpt computes Belady's optimal miss count by direct simulation:
+// on each miss with a full cache, evict the cached key whose next use is
+// farthest away. O(n * k * n) — only for small inputs.
+func bruteOpt(requests []uint64, capacity int) uint64 {
+	cache := make(map[uint64]bool, capacity)
+	var misses uint64
+	for i, key := range requests {
+		if cache[key] {
+			continue
+		}
+		misses++
+		if len(cache) >= capacity {
+			// Find the cached key with the farthest next use.
+			bestKey := uint64(0)
+			bestDist := -1
+			for k := range cache {
+				dist := len(requests) + 1
+				for j := i + 1; j < len(requests); j++ {
+					if requests[j] == k {
+						dist = j
+						break
+					}
+				}
+				if dist > bestDist {
+					bestDist = dist
+					bestKey = k
+				}
+			}
+			delete(cache, bestKey)
+		}
+		cache[key] = true
+	}
+	return misses
+}
+
+func TestOptMatchesBruteForce(t *testing.T) {
+	r := hashutil.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + r.Intn(60)
+		capacity := 1 + r.Intn(6)
+		reqs := make([]uint64, n)
+		for i := range reqs {
+			reqs[i] = r.Uint64n(uint64(capacity * 3))
+		}
+		want := bruteOpt(reqs, capacity)
+		got := OptMisses(reqs, capacity)
+		if got != want {
+			t.Fatalf("trial %d (n=%d cap=%d): OptMisses=%d brute=%d reqs=%v",
+				trial, n, capacity, got, want, reqs)
+		}
+	}
+}
+
+func TestOptEmpty(t *testing.T) {
+	if OptMisses(nil, 4) != 0 {
+		t.Fatal("empty sequence should have 0 misses")
+	}
+}
+
+func TestOptColdMissesOnly(t *testing.T) {
+	// With capacity >= number of distinct keys, misses = distinct keys.
+	reqs := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if got := OptMisses(reqs, 3); got != 3 {
+		t.Fatalf("OptMisses = %d, want 3 (cold misses only)", got)
+	}
+}
+
+func TestOptCyclicScan(t *testing.T) {
+	// Cyclic scan of k+1 keys with cache k: LRU misses every time, OPT
+	// misses roughly 1/k of the time after warmup.
+	const k = 4
+	var reqs []uint64
+	for round := 0; round < 100; round++ {
+		for key := uint64(0); key < k+1; key++ {
+			reqs = append(reqs, key)
+		}
+	}
+	lru := Misses(NewLRU(k), reqs)
+	opt := OptMisses(reqs, k)
+	if lru != uint64(len(reqs)) {
+		t.Fatalf("LRU on cyclic scan should miss every request, missed %d/%d", lru, len(reqs))
+	}
+	if opt >= lru/2 {
+		t.Fatalf("OPT misses %d should be far below LRU %d on cyclic scan", opt, lru)
+	}
+}
+
+// TestOptLowerBound is the key property: no online policy beats OPT.
+func TestOptLowerBound(t *testing.T) {
+	r := hashutil.NewRNG(21)
+	for trial := 0; trial < 50; trial++ {
+		n := 200 + r.Intn(300)
+		capacity := 2 + r.Intn(10)
+		reqs := make([]uint64, n)
+		for i := range reqs {
+			reqs[i] = r.Uint64n(uint64(capacity * 4))
+		}
+		opt := OptMisses(reqs, capacity)
+		for _, kind := range Kinds() {
+			p, err := New(kind, capacity, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m := Misses(p, reqs); m < opt {
+				t.Fatalf("policy %s achieved %d misses < OPT %d (cap=%d)", kind, m, opt, capacity)
+			}
+		}
+	}
+}
+
+// TestSleatorTarjanCompetitive spot-checks the k-competitiveness of LRU
+// with resource augmentation: LRU with cache k incurs at most
+// k/(k-h+1) * OPT(h) + h misses on any sequence (h <= k).
+func TestSleatorTarjanCompetitive(t *testing.T) {
+	r := hashutil.NewRNG(31)
+	const k, h = 8, 4
+	for trial := 0; trial < 30; trial++ {
+		n := 500
+		reqs := make([]uint64, n)
+		for i := range reqs {
+			reqs[i] = r.Uint64n(24)
+		}
+		lru := Misses(NewLRU(k), reqs)
+		opt := OptMisses(reqs, h)
+		bound := uint64(float64(k)/float64(k-h+1)*float64(opt)) + h
+		if lru > bound {
+			t.Fatalf("LRU(%d)=%d exceeds Sleator–Tarjan bound %d (OPT(%d)=%d)", k, lru, bound, h, opt)
+		}
+	}
+}
+
+func TestOptQuickAgainstLRU(t *testing.T) {
+	// Property: OPT <= LRU on random short sequences.
+	f := func(seed uint64) bool {
+		r := hashutil.NewRNG(seed)
+		reqs := make([]uint64, 100)
+		for i := range reqs {
+			reqs[i] = r.Uint64n(12)
+		}
+		return OptMisses(reqs, 4) <= Misses(NewLRU(4), reqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	p := NewLRU(1 << 12)
+	r := hashutil.NewRNG(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkOptMisses(b *testing.B) {
+	r := hashutil.NewRNG(1)
+	reqs := make([]uint64, 1<<14)
+	for i := range reqs {
+		reqs[i] = r.Uint64n(1 << 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptMisses(reqs, 256)
+	}
+}

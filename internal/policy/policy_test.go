@@ -1,0 +1,336 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+// allKinds constructs one instance of every online policy for shared tests.
+func allPolicies(t *testing.T, capacity int) []Policy {
+	t.Helper()
+	var ps []Policy
+	for _, k := range Kinds() {
+		p, err := New(k, capacity, 12345)
+		if err != nil {
+			t.Fatalf("New(%q, %d): %v", k, capacity, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("bogus", 10, 0); err == nil {
+		t.Error("New with unknown kind should error")
+	}
+	if _, err := New(LRUKind, 0, 0); err == nil {
+		t.Error("New with zero capacity should error")
+	}
+	if _, err := New(LRUKind, -3, 0); err == nil {
+		t.Error("New with negative capacity should error")
+	}
+}
+
+// TestInvariants checks properties that every policy must satisfy on an
+// arbitrary access sequence: capacity never exceeded, hits only on cached
+// keys, victims were cached, Len consistent.
+func TestInvariants(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 64} {
+		for _, p := range allPolicies(t, capacity) {
+			t.Run(fmt.Sprintf("%s/cap%d", p.Name(), capacity), func(t *testing.T) {
+				shadow := make(map[uint64]bool)
+				r := hashutil.NewRNG(42)
+				for i := 0; i < 20000; i++ {
+					key := r.Uint64n(uint64(3 * capacity))
+					wantHit := shadow[key]
+					hit, victim := p.Access(key)
+					if hit != wantHit {
+						t.Fatalf("step %d key %d: hit=%v, shadow says %v", i, key, hit, wantHit)
+					}
+					if victim != NoEviction {
+						if !shadow[victim] {
+							t.Fatalf("step %d: evicted %d which was not cached", i, victim)
+						}
+						if victim == key {
+							t.Fatalf("step %d: evicted the key being accessed", i)
+						}
+						delete(shadow, victim)
+					}
+					if !hit {
+						shadow[key] = true
+					}
+					if !p.Contains(key) {
+						t.Fatalf("step %d: key %d missing right after access", i, key)
+					}
+					if p.Len() != len(shadow) {
+						t.Fatalf("step %d: Len=%d shadow=%d", i, p.Len(), len(shadow))
+					}
+					if p.Len() > capacity {
+						t.Fatalf("step %d: Len=%d exceeds capacity %d", i, p.Len(), capacity)
+					}
+				}
+				// Shadow set and policy must agree exactly at the end.
+				for k := range shadow {
+					if !p.Contains(k) {
+						t.Fatalf("shadow key %d not in policy", k)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for _, p := range allPolicies(t, 8) {
+		t.Run(p.Name(), func(t *testing.T) {
+			for k := uint64(0); k < 8; k++ {
+				p.Access(k)
+			}
+			// Pick a key that is actually cached (2Q's probation queue is
+			// smaller than the total capacity, so not all 8 survive).
+			var target uint64
+			found := false
+			for k := uint64(0); k < 8; k++ {
+				if p.Contains(k) {
+					target = k
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatal("no cached key found after 8 inserts")
+			}
+			before := p.Len()
+			if !p.Remove(target) {
+				t.Fatalf("Remove(%d) should report true", target)
+			}
+			if p.Contains(target) {
+				t.Fatalf("key %d still present after Remove", target)
+			}
+			if p.Remove(target) {
+				t.Fatalf("second Remove(%d) should report false", target)
+			}
+			if p.Len() != before-1 {
+				t.Fatalf("Len=%d after removal, want %d", p.Len(), before-1)
+			}
+			// Re-accessing after Remove must be a miss and re-cache it.
+			hit, _ := p.Access(target)
+			if hit {
+				t.Fatalf("Access(%d) after Remove should miss", target)
+			}
+			if !p.Contains(target) {
+				t.Fatalf("key %d not cached after re-access", target)
+			}
+		})
+	}
+}
+
+func TestCapAndName(t *testing.T) {
+	for _, k := range Kinds() {
+		p, err := New(k, 13, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cap() != 13 {
+			t.Errorf("%s: Cap=%d, want 13", k, p.Cap())
+		}
+		if p.Name() != string(k) {
+			t.Errorf("Name=%q, want %q", p.Name(), k)
+		}
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	l := NewLRU(3)
+	l.Access(1)
+	l.Access(2)
+	l.Access(3)
+	l.Access(1)         // 1 is now most recent; order 1,3,2
+	_, v := l.Access(4) // evicts 2
+	if v != 2 {
+		t.Fatalf("LRU evicted %d, want 2", v)
+	}
+	got := l.Keys()
+	want := []uint64{4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(3)
+	f.Access(1)
+	f.Access(2)
+	f.Access(3)
+	f.Access(1) // hit; FIFO does NOT refresh insertion order
+	_, v := f.Access(4)
+	if v != 1 {
+		t.Fatalf("FIFO evicted %d, want 1 (oldest arrival)", v)
+	}
+}
+
+func TestMRUOrder(t *testing.T) {
+	m := NewMRU(3)
+	m.Access(1)
+	m.Access(2)
+	m.Access(3)
+	_, v := m.Access(4) // should evict 3, the most recent
+	if v != 3 {
+		t.Fatalf("MRU evicted %d, want 3", v)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // sets 1's reference bit
+	// Hand is at slot 0 (key 1). Sweep clears 1's bit, moves on; 2 has a
+	// clear bit, so 2 is evicted.
+	_, v := c.Access(4)
+	if v != 2 {
+		t.Fatalf("Clock evicted %d, want 2", v)
+	}
+	if !c.Contains(1) {
+		t.Fatal("key 1 should have survived via its second chance")
+	}
+}
+
+func TestClockDegeneratesLikeFIFOWithoutHits(t *testing.T) {
+	// With no hits, CLOCK evicts in insertion order like FIFO.
+	c := NewClock(2)
+	f := NewFIFO(2)
+	r := hashutil.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		// Strictly increasing keys: no hits ever.
+		key := uint64(i)*10 + r.Uint64n(3)
+		_, cv := c.Access(key)
+		_, fv := f.Access(key)
+		if cv != fv {
+			t.Fatalf("step %d: clock evicted %d, fifo evicted %d", i, cv, fv)
+		}
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	l := NewLFU(3)
+	l.Access(1)
+	l.Access(1)
+	l.Access(1)
+	l.Access(2)
+	l.Access(2)
+	l.Access(3)
+	_, v := l.Access(4) // 3 has freq 1
+	if v != 3 {
+		t.Fatalf("LFU evicted %d, want 3", v)
+	}
+	// Now 4 has freq 1, others are higher; access 4 twice, then insert 5:
+	// victim must be 2 or 4 (both freq... 2:2, 4:3, 1:3) -> evict 2.
+	l.Access(4)
+	l.Access(4)
+	_, v = l.Access(5)
+	if v != 2 {
+		t.Fatalf("LFU evicted %d, want 2", v)
+	}
+}
+
+func TestLFUTieBreaksLRU(t *testing.T) {
+	l := NewLFU(2)
+	l.Access(1)
+	l.Access(2)
+	// Both have frequency 1; 1 is least recent.
+	_, v := l.Access(3)
+	if v != 1 {
+		t.Fatalf("LFU tie-break evicted %d, want 1", v)
+	}
+}
+
+func TestTwoQPromotion(t *testing.T) {
+	q := NewTwoQ(8) // 2 probation + 6 main
+	q.Access(1)     // probation
+	hit, _ := q.Access(1)
+	if !hit {
+		t.Fatal("second access to probationary key should hit")
+	}
+	// 1 is now in main. Flood probation with one-hit wonders.
+	for k := uint64(100); k < 120; k++ {
+		q.Access(k)
+	}
+	if !q.Contains(1) {
+		t.Fatal("promoted key 1 should survive a probation flood")
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	// A hot working set plus a long scan: 2Q should keep far more of the
+	// hot set than LRU does.
+	const capacity = 64
+	hot := make([]uint64, 16)
+	for i := range hot {
+		hot[i] = uint64(i)
+	}
+	run := func(p Policy) (hotMisses uint64) {
+		r := hashutil.NewRNG(3)
+		scanKey := uint64(1 << 20)
+		for i := 0; i < 100000; i++ {
+			if r.Float64() < 0.5 {
+				k := hot[r.Intn(len(hot))]
+				if hit, _ := p.Access(k); !hit {
+					hotMisses++
+				}
+			} else {
+				scanKey++
+				p.Access(scanKey)
+			}
+		}
+		return hotMisses
+	}
+	lruMisses := run(NewLRU(capacity))
+	twoqMisses := run(NewTwoQ(capacity))
+	if twoqMisses >= lruMisses {
+		t.Fatalf("2Q hot misses %d >= LRU hot misses %d; 2Q should be scan-resistant", twoqMisses, lruMisses)
+	}
+}
+
+func TestTwoQCapacityOne(t *testing.T) {
+	q := NewTwoQ(1)
+	q.Access(1)
+	hit, _ := q.Access(1)
+	if !hit {
+		t.Fatal("capacity-1 2Q should hit on repeat access")
+	}
+	_, v := q.Access(2)
+	if v != 1 {
+		t.Fatalf("capacity-1 2Q evicted %d, want 1", v)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", q.Len())
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		p := NewRandom(4, seed)
+		var evictions []uint64
+		for i := uint64(0); i < 100; i++ {
+			if _, v := p.Access(i); v != NoEviction {
+				evictions = append(evictions, v)
+			}
+		}
+		return evictions
+	}
+	a, b := run(9), run(9)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different eviction counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different evictions")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package policy
+
+import "addrxlat/internal/hashutil"
+
+// Random evicts a uniformly random cached key. Randomized eviction is the
+// textbook example of an oblivious policy (its coin flips are independent
+// of the decoupling scheme's hash functions, as the paper's obliviousness
+// condition requires — we enforce that by giving it its own RNG stream).
+type Random struct {
+	capacity int
+	keys     []uint64       // dense array of cached keys
+	index    map[uint64]int // key -> position in keys
+	rng      *hashutil.RNG
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns a random-eviction cache with the given capacity (> 0),
+// drawing eviction choices from the given seed.
+func NewRandom(capacity int, seed uint64) *Random {
+	if capacity <= 0 {
+		panic("policy: Random capacity must be positive")
+	}
+	return &Random{
+		capacity: capacity,
+		keys:     make([]uint64, 0, capacity),
+		index:    make(map[uint64]int, capacity),
+		rng:      hashutil.NewRNG(seed),
+	}
+}
+
+// Access implements Policy.
+func (r *Random) Access(key uint64) (hit bool, victim uint64) {
+	if _, ok := r.index[key]; ok {
+		return true, NoEviction
+	}
+	victim = NoEviction
+	if len(r.keys) >= r.capacity {
+		i := r.rng.Intn(len(r.keys))
+		victim = r.keys[i]
+		r.removeAt(i)
+	}
+	r.index[key] = len(r.keys)
+	r.keys = append(r.keys, key)
+	return false, victim
+}
+
+// removeAt removes the key at dense position i with swap-delete.
+func (r *Random) removeAt(i int) {
+	key := r.keys[i]
+	last := len(r.keys) - 1
+	r.keys[i] = r.keys[last]
+	r.index[r.keys[i]] = i
+	r.keys = r.keys[:last]
+	delete(r.index, key)
+}
+
+// Contains implements Policy.
+func (r *Random) Contains(key uint64) bool {
+	_, ok := r.index[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (r *Random) Remove(key uint64) bool {
+	i, ok := r.index[key]
+	if !ok {
+		return false
+	}
+	r.removeAt(i)
+	return true
+}
+
+// Len implements Policy.
+func (r *Random) Len() int { return len(r.keys) }
+
+// Cap implements Policy.
+func (r *Random) Cap() int { return r.capacity }
+
+// Name implements Policy.
+func (r *Random) Name() string { return string(RandomKind) }

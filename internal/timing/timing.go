@@ -1,0 +1,118 @@
+// Package timing converts the address-translation cost model's abstract
+// counters into wall-clock estimates under a concrete hardware cost
+// table.
+//
+// The paper's model charges ε per TLB miss and 1 per IO precisely because
+// the *ratio* of those costs is what matters; this package instantiates
+// the ratio for real hardware generations and reproduces the
+// introduction's motivating trends: address translation can consume the
+// majority of execution time (Basu et al. report up to 83%), and faster
+// storage devices raise the *relative* cost of translation by deflating
+// the paging term.
+package timing
+
+import "fmt"
+
+// CostTable gives per-event latencies in CPU cycles.
+type CostTable struct {
+	// MemAccess: the data reference itself (cache-missing to DRAM).
+	MemAccess uint64
+	// TLBHit: translation when the TLB hits (pipelined; ~1 cycle).
+	TLBHit uint64
+	// WalkPerLevel: one page-table node visit during a miss walk.
+	WalkPerLevel uint64
+	// WalkLevels: radix levels walked on a TLB miss.
+	WalkLevels int
+	// IO: one page move to/from storage.
+	IO uint64
+	// DecodingMiss: resolving a decoding miss (an extra walk).
+	DecodingMiss uint64
+}
+
+// Validate rejects degenerate tables.
+func (c CostTable) Validate() error {
+	if c.MemAccess == 0 || c.WalkPerLevel == 0 || c.WalkLevels <= 0 || c.IO == 0 {
+		return fmt.Errorf("timing: cost table has zero entries: %+v", c)
+	}
+	return nil
+}
+
+// WalkCost returns the full page-table walk latency.
+func (c CostTable) WalkCost() uint64 {
+	return uint64(c.WalkLevels) * c.WalkPerLevel
+}
+
+// Epsilon returns the cost table's implied ε: the TLB-miss cost expressed
+// in units of the IO cost — the paper's model parameter.
+func (c CostTable) Epsilon() float64 {
+	return float64(c.WalkCost()) / float64(c.IO)
+}
+
+// Preset tables. Cycle counts follow the rough shape of published
+// latencies (SandyBridge-class cores at ~3 GHz): DRAM ≈ 65 ns ≈ 200
+// cycles, one cached walk step ≈ 30 cycles, 4-level radix.
+var (
+	// DiskStorage: 5 ms seek+transfer ≈ 15 M cycles.
+	DiskStorage = CostTable{MemAccess: 200, TLBHit: 1, WalkPerLevel: 30, WalkLevels: 4, IO: 15_000_000, DecodingMiss: 120}
+	// NVMeStorage: 20 µs ≈ 60 k cycles.
+	NVMeStorage = CostTable{MemAccess: 200, TLBHit: 1, WalkPerLevel: 30, WalkLevels: 4, IO: 60_000, DecodingMiss: 120}
+	// CXLStorage: memory-semantic far tier, 1 µs ≈ 3 k cycles.
+	CXLStorage = CostTable{MemAccess: 200, TLBHit: 1, WalkPerLevel: 30, WalkLevels: 4, IO: 3_000, DecodingMiss: 120}
+)
+
+// Counters is the subset of cost counters timing needs; mm.Costs satisfies
+// it structurally via FromCounts.
+type Counters struct {
+	Accesses       uint64
+	TLBMisses      uint64
+	DecodingMisses uint64
+	IOs            uint64
+}
+
+// Breakdown is the cycle-level decomposition of a run.
+type Breakdown struct {
+	DataCycles  uint64 // the memory references themselves
+	ATCycles    uint64 // TLB hits + miss walks + decoding misses
+	IOCycles    uint64 // paging traffic
+	TotalCycles uint64
+}
+
+// ATFraction returns the share of total time spent on address
+// translation.
+func (b Breakdown) ATFraction() float64 {
+	if b.TotalCycles == 0 {
+		return 0
+	}
+	return float64(b.ATCycles) / float64(b.TotalCycles)
+}
+
+// IOFraction returns the paging share.
+func (b Breakdown) IOFraction() float64 {
+	if b.TotalCycles == 0 {
+		return 0
+	}
+	return float64(b.IOCycles) / float64(b.TotalCycles)
+}
+
+// String renders the breakdown for experiment logs.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%d cycles (data=%d, at=%d [%.1f%%], io=%d [%.1f%%])",
+		b.TotalCycles, b.DataCycles, b.ATCycles, 100*b.ATFraction(), b.IOCycles, 100*b.IOFraction())
+}
+
+// Estimate computes the breakdown of a run under a cost table. Every
+// access pays a TLB-hit latency (the translation pipeline stage); misses
+// additionally pay the walk.
+func Estimate(c Counters, table CostTable) (Breakdown, error) {
+	if err := table.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	b.DataCycles = c.Accesses * table.MemAccess
+	b.ATCycles = c.Accesses*table.TLBHit +
+		c.TLBMisses*table.WalkCost() +
+		c.DecodingMisses*table.DecodingMiss
+	b.IOCycles = c.IOs * table.IO
+	b.TotalCycles = b.DataCycles + b.ATCycles + b.IOCycles
+	return b, nil
+}

@@ -1,0 +1,103 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (CostTable{}).Validate(); err == nil {
+		t.Error("zero table should fail validation")
+	}
+	for _, tbl := range []CostTable{DiskStorage, NVMeStorage, CXLStorage} {
+		if err := tbl.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestWalkCostAndEpsilon(t *testing.T) {
+	tbl := CostTable{MemAccess: 100, TLBHit: 1, WalkPerLevel: 25, WalkLevels: 4, IO: 10000}
+	if tbl.WalkCost() != 100 {
+		t.Fatalf("WalkCost = %d, want 100", tbl.WalkCost())
+	}
+	if math.Abs(tbl.Epsilon()-0.01) > 1e-12 {
+		t.Fatalf("Epsilon = %v, want 0.01", tbl.Epsilon())
+	}
+	// The paper's ε ∈ (0,1): all presets must respect it.
+	for _, p := range []CostTable{DiskStorage, NVMeStorage, CXLStorage} {
+		if e := p.Epsilon(); e <= 0 || e >= 1 {
+			t.Errorf("preset ε = %v outside (0,1)", e)
+		}
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	tbl := CostTable{MemAccess: 10, TLBHit: 1, WalkPerLevel: 5, WalkLevels: 4, IO: 1000, DecodingMiss: 20}
+	c := Counters{Accesses: 100, TLBMisses: 10, DecodingMisses: 2, IOs: 3}
+	b, err := Estimate(c, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DataCycles != 1000 {
+		t.Errorf("data = %d", b.DataCycles)
+	}
+	if b.ATCycles != 100+10*20+2*20 {
+		t.Errorf("at = %d", b.ATCycles)
+	}
+	if b.IOCycles != 3000 {
+		t.Errorf("io = %d", b.IOCycles)
+	}
+	if b.TotalCycles != b.DataCycles+b.ATCycles+b.IOCycles {
+		t.Error("total mismatch")
+	}
+	if b.ATFraction() <= 0 || b.ATFraction() >= 1 {
+		t.Errorf("at fraction %v", b.ATFraction())
+	}
+	if !strings.Contains(b.String(), "total=") {
+		t.Error("String() malformed")
+	}
+	if _, err := Estimate(c, CostTable{}); err == nil {
+		t.Error("invalid table should error")
+	}
+}
+
+func TestZeroBreakdownFractions(t *testing.T) {
+	var b Breakdown
+	if b.ATFraction() != 0 || b.IOFraction() != 0 {
+		t.Fatal("zero breakdown must give zero fractions")
+	}
+}
+
+// TestFasterStorageRaisesATShare reproduces the introduction's trend: at
+// fixed counters, moving from disk to NVMe to CXL inflates the relative
+// cost of address translation.
+func TestFasterStorageRaisesATShare(t *testing.T) {
+	c := Counters{Accesses: 1_000_000, TLBMisses: 300_000, IOs: 100}
+	var prev float64 = -1
+	for _, tbl := range []CostTable{DiskStorage, NVMeStorage, CXLStorage} {
+		b, err := Estimate(c, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ATFraction() <= prev {
+			t.Fatalf("AT share did not rise with faster storage: %v -> %v", prev, b.ATFraction())
+		}
+		prev = b.ATFraction()
+	}
+}
+
+// TestTranslationCanDominate: with a miss-heavy workload and fast
+// storage, the AT share reaches the majority — the paper's "as much as
+// 83% of execution time" motivation.
+func TestTranslationCanDominate(t *testing.T) {
+	c := Counters{Accesses: 1_000_000, TLBMisses: 900_000, IOs: 50}
+	b, err := Estimate(c, CXLStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ATFraction() < 0.3 {
+		t.Fatalf("AT fraction %v; expected translation-dominated regime", b.ATFraction())
+	}
+}

@@ -1,0 +1,109 @@
+package tlb
+
+import (
+	"fmt"
+
+	"addrxlat/internal/policy"
+)
+
+// SizeClass describes one page-size class of a split TLB: entries covering
+// Span base pages each, with their own entry budget. Real hardware splits
+// its TLB this way — the paper's footnote 1 cites Cascade Lake's
+// 1536-entry L2 TLB for 4 KiB/2 MiB pages next to a 16-entry TLB for
+// 1 GiB pages.
+type SizeClass struct {
+	// Span: base pages covered per entry (power of two ≥ 1).
+	Span uint64
+	// Entries in this class's sub-TLB.
+	Entries int
+}
+
+// MultiTLB is a set of per-size-class sub-TLBs. A translation for page v
+// at class i is cached under key v/Span(i); classes are independent, as in
+// hardware (a 2 MiB mapping never occupies a 1 GiB entry).
+type MultiTLB struct {
+	classes []SizeClass
+	subs    []*TLB
+}
+
+// NewMulti builds a split TLB from size classes (at least one), all using
+// the given replacement policy kind.
+func NewMulti(classes []SizeClass, kind policy.Kind, seed uint64) (*MultiTLB, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("tlb: at least one size class required")
+	}
+	m := &MultiTLB{classes: append([]SizeClass(nil), classes...)}
+	for i, c := range classes {
+		if c.Span == 0 || c.Span&(c.Span-1) != 0 {
+			return nil, fmt.Errorf("tlb: class %d span %d must be a power of two ≥ 1", i, c.Span)
+		}
+		sub, err := New(c.Entries, kind, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("tlb: class %d: %w", i, err)
+		}
+		m.subs = append(m.subs, sub)
+	}
+	return m, nil
+}
+
+// Classes returns the number of size classes.
+func (m *MultiTLB) Classes() int { return len(m.classes) }
+
+// Span returns class i's coverage in base pages.
+func (m *MultiTLB) Span(class int) uint64 { return m.classes[class].Span }
+
+// Lookup checks class `class` for a translation covering page v.
+func (m *MultiTLB) Lookup(v uint64, class int) (Entry, bool) {
+	return m.subs[class].Lookup(v / m.classes[class].Span)
+}
+
+// Insert caches an entry covering page v in class `class`.
+func (m *MultiTLB) Insert(v uint64, class int, e Entry) (victim uint64, evicted bool) {
+	return m.subs[class].Insert(v/m.classes[class].Span, e)
+}
+
+// Invalidate drops the entry covering v in class `class`.
+func (m *MultiTLB) Invalidate(v uint64, class int) bool {
+	return m.subs[class].Invalidate(v / m.classes[class].Span)
+}
+
+// LookupAny probes every class for v (hardware probes size classes in
+// parallel), returning the first hit and its class, or ok=false after
+// charging a miss in every class probed.
+func (m *MultiTLB) LookupAny(v uint64) (e Entry, class int, ok bool) {
+	for i := range m.subs {
+		if e, ok := m.Lookup(v, i); ok {
+			return e, i, true
+		}
+	}
+	return Entry{}, -1, false
+}
+
+// Hits sums hits across classes.
+func (m *MultiTLB) Hits() uint64 {
+	var n uint64
+	for _, s := range m.subs {
+		n += s.Hits()
+	}
+	return n
+}
+
+// Misses sums misses across classes. Note LookupAny charges one miss per
+// probed class; per-class counters are available via Sub.
+func (m *MultiTLB) Misses() uint64 {
+	var n uint64
+	for _, s := range m.subs {
+		n += s.Misses()
+	}
+	return n
+}
+
+// Sub exposes class i's underlying TLB (counters, occupancy).
+func (m *MultiTLB) Sub(class int) *TLB { return m.subs[class] }
+
+// ResetCounters zeroes all classes' counters.
+func (m *MultiTLB) ResetCounters() {
+	for _, s := range m.subs {
+		s.ResetCounters()
+	}
+}

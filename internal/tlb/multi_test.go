@@ -1,0 +1,124 @@
+package tlb
+
+import (
+	"testing"
+
+	"addrxlat/internal/policy"
+)
+
+func cascadeLake(t *testing.T) *MultiTLB {
+	t.Helper()
+	// 1536 entries for 4K/2M analog (span 1), 16 entries for 1G analog
+	// (span 512·512 at 4K base ≈ 2^18; use 2^18).
+	m, err := NewMulti([]SizeClass{
+		{Span: 1, Entries: 1536},
+		{Span: 1 << 18, Entries: 16},
+	}, policy.LRUKind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiErrors(t *testing.T) {
+	if _, err := NewMulti(nil, policy.LRUKind, 1); err == nil {
+		t.Error("empty classes should error")
+	}
+	if _, err := NewMulti([]SizeClass{{Span: 3, Entries: 4}}, policy.LRUKind, 1); err == nil {
+		t.Error("non-power-of-two span should error")
+	}
+	if _, err := NewMulti([]SizeClass{{Span: 1, Entries: 0}}, policy.LRUKind, 1); err == nil {
+		t.Error("zero entries should error")
+	}
+	if _, err := NewMulti([]SizeClass{{Span: 1, Entries: 4}}, "bogus", 1); err == nil {
+		t.Error("bad policy should error")
+	}
+}
+
+func TestMultiClassIsolation(t *testing.T) {
+	m := cascadeLake(t)
+	// Insert page 5 as a base entry; it must not hit in the giant class.
+	m.Insert(5, 0, Entry{Phys: 50})
+	if _, ok := m.Lookup(5, 1); ok {
+		t.Fatal("base entry leaked into giant class")
+	}
+	if e, ok := m.Lookup(5, 0); !ok || e.Phys != 50 {
+		t.Fatal("base entry lost")
+	}
+	// A giant entry covers a huge span.
+	m.Insert(5, 1, Entry{Phys: 99})
+	if e, ok := m.Lookup(5+100000, 1); !ok || e.Phys != 99 {
+		t.Fatal("giant entry should cover distant pages in its span")
+	}
+}
+
+func TestMultiLookupAny(t *testing.T) {
+	m := cascadeLake(t)
+	if _, _, ok := m.LookupAny(7); ok {
+		t.Fatal("empty TLB should miss")
+	}
+	m.Insert(7, 1, Entry{Phys: 1})
+	e, class, ok := m.LookupAny(7)
+	if !ok || class != 1 || e.Phys != 1 {
+		t.Fatalf("LookupAny = %+v,%d,%v", e, class, ok)
+	}
+	// Base entries take probe priority (class order).
+	m.Insert(7, 0, Entry{Phys: 2})
+	e, class, ok = m.LookupAny(7)
+	if !ok || class != 0 || e.Phys != 2 {
+		t.Fatalf("LookupAny after base insert = %+v,%d,%v", e, class, ok)
+	}
+}
+
+func TestMultiCapacities(t *testing.T) {
+	m, err := NewMulti([]SizeClass{
+		{Span: 1, Entries: 4},
+		{Span: 64, Entries: 2},
+	}, policy.LRUKind, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 100; v++ {
+		m.Insert(v, 0, Entry{Phys: v})
+	}
+	if m.Sub(0).Len() != 4 {
+		t.Fatalf("class 0 len = %d, want 4", m.Sub(0).Len())
+	}
+	for v := uint64(0); v < 100*64; v += 64 {
+		m.Insert(v, 1, Entry{Phys: v})
+	}
+	if m.Sub(1).Len() != 2 {
+		t.Fatalf("class 1 len = %d, want 2", m.Sub(1).Len())
+	}
+}
+
+func TestMultiCountersAndReset(t *testing.T) {
+	m := cascadeLake(t)
+	m.LookupAny(3) // 2 misses (both classes probed)
+	m.Insert(3, 0, Entry{})
+	m.LookupAny(3) // 1 hit
+	if m.Hits() != 1 {
+		t.Fatalf("hits = %d", m.Hits())
+	}
+	if m.Misses() != 2 {
+		t.Fatalf("misses = %d", m.Misses())
+	}
+	m.ResetCounters()
+	if m.Hits() != 0 || m.Misses() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestMultiInvalidate(t *testing.T) {
+	m := cascadeLake(t)
+	m.Insert(9, 0, Entry{})
+	if !m.Invalidate(9, 0) {
+		t.Fatal("invalidate of present entry failed")
+	}
+	if m.Invalidate(9, 0) {
+		t.Fatal("double invalidate should fail")
+	}
+	if m.Classes() != 2 || m.Span(1) != 1<<18 {
+		t.Fatal("geometry accessors broken")
+	}
+}

@@ -1,0 +1,216 @@
+package tlb
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+	"addrxlat/internal/policy"
+)
+
+func TestSetAssociativeErrors(t *testing.T) {
+	if _, err := NewSetAssociative(0, 4, policy.LRUKind, 1); err == nil {
+		t.Error("entries=0 should error")
+	}
+	if _, err := NewSetAssociative(16, 0, policy.LRUKind, 1); err == nil {
+		t.Error("ways=0 should error")
+	}
+	if _, err := NewSetAssociative(10, 4, policy.LRUKind, 1); err == nil {
+		t.Error("non-divisible should error")
+	}
+	if _, err := NewSetAssociative(16, 4, "bogus", 1); err == nil {
+		t.Error("bad policy should error")
+	}
+}
+
+func TestSetAssociativeBasic(t *testing.T) {
+	s, err := NewSetAssociative(16, 4, policy.LRUKind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sets() != 4 || s.Ways() != 4 {
+		t.Fatalf("geometry %d×%d", s.Sets(), s.Ways())
+	}
+	s.Insert(42, Entry{Phys: 7})
+	e, ok := s.Lookup(42)
+	if !ok || e.Phys != 7 {
+		t.Fatalf("lookup = %+v,%v", e, ok)
+	}
+	if !s.Contains(42) {
+		t.Fatal("Contains false after insert")
+	}
+	if !s.Invalidate(42) || s.Invalidate(42) {
+		t.Fatal("invalidate semantics wrong")
+	}
+	if s.Hits() != 1 || s.Misses() != 0 {
+		t.Fatalf("counters: %d/%d", s.Hits(), s.Misses())
+	}
+	s.ResetCounters()
+	if s.Hits() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSetAssociativeConflictMisses(t *testing.T) {
+	// With 1-way (direct-mapped) sets, keys hashing to the same set
+	// conflict even when the TLB is mostly empty; full associativity at
+	// the same total size would hold them all. Compare miss counts on a
+	// small working set.
+	const entries = 64
+	const workingSet = 32
+	run := func(mk func() interface {
+		Lookup(uint64) (Entry, bool)
+		Insert(uint64, Entry) (uint64, bool)
+	}) uint64 {
+		c := mk()
+		r := hashutil.NewRNG(5)
+		var misses uint64
+		for i := 0; i < 100000; i++ {
+			key := r.Uint64n(workingSet)
+			if _, ok := c.Lookup(key); !ok {
+				misses++
+				c.Insert(key, Entry{})
+			}
+		}
+		return misses
+	}
+	directMisses := run(func() interface {
+		Lookup(uint64) (Entry, bool)
+		Insert(uint64, Entry) (uint64, bool)
+	} {
+		s, err := NewSetAssociative(entries, 1, policy.LRUKind, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	fullMisses := run(func() interface {
+		Lookup(uint64) (Entry, bool)
+		Insert(uint64, Entry) (uint64, bool)
+	} {
+		f, err := New(entries, policy.LRUKind, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	})
+	// Fully associative caches the 32-key working set entirely: only
+	// cold misses. Direct-mapped conflicts keep missing.
+	if fullMisses != workingSet {
+		t.Fatalf("fully associative misses = %d, want %d cold misses", fullMisses, workingSet)
+	}
+	if directMisses <= fullMisses*2 {
+		t.Fatalf("direct-mapped misses %d should far exceed full-assoc %d", directMisses, fullMisses)
+	}
+}
+
+func TestSetAssociativeMoreWaysFewerMisses(t *testing.T) {
+	const entries = 64
+	r := hashutil.NewRNG(7)
+	keys := make([]uint64, 1<<15)
+	for i := range keys {
+		keys[i] = r.Uint64n(48)
+	}
+	missesAt := func(ways int) uint64 {
+		s, err := NewSetAssociative(entries, ways, policy.LRUKind, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses uint64
+		for _, k := range keys {
+			if _, ok := s.Lookup(k); !ok {
+				misses++
+				s.Insert(k, Entry{})
+			}
+		}
+		return misses
+	}
+	m1, m4, m64 := missesAt(1), missesAt(4), missesAt(64)
+	if !(m64 <= m4 && m4 <= m1) {
+		t.Fatalf("misses not monotone in associativity: 1-way %d, 4-way %d, 64-way %d", m1, m4, m64)
+	}
+}
+
+func TestSetAssociativeCapacity(t *testing.T) {
+	s, _ := NewSetAssociative(16, 2, policy.LRUKind, 1)
+	for k := uint64(0); k < 1000; k++ {
+		s.Insert(k, Entry{})
+	}
+	if s.Len() > 16 {
+		t.Fatalf("Len = %d exceeds 16 entries", s.Len())
+	}
+}
+
+func TestTwoLevelErrors(t *testing.T) {
+	if _, err := NewTwoLevel(0, 8, policy.LRUKind, 1); err == nil {
+		t.Error("L1=0 should error")
+	}
+	if _, err := NewTwoLevel(8, 0, policy.LRUKind, 1); err == nil {
+		t.Error("L2=0 should error")
+	}
+	if _, err := NewTwoLevel(8, 8, policy.LRUKind, 1); err == nil {
+		t.Error("L1>=L2 should error")
+	}
+}
+
+func TestTwoLevelHierarchy(t *testing.T) {
+	h, err := NewTwoLevel(2, 8, policy.LRUKind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full miss.
+	if _, level := h.Lookup(1); level != 0 {
+		t.Fatalf("level = %d, want 0", level)
+	}
+	h.Insert(1, Entry{Phys: 10})
+	// L1 hit.
+	if e, level := h.Lookup(1); level != 1 || e.Phys != 10 {
+		t.Fatalf("level = %d, e = %+v", level, e)
+	}
+	// Flood L1 (2 entries) so key 1 falls back to L2 only.
+	h.Insert(2, Entry{})
+	h.Insert(3, Entry{})
+	if e, level := h.Lookup(1); level != 2 || e.Phys != 10 {
+		t.Fatalf("after L1 flood: level = %d, e = %+v", level, e)
+	}
+	// The L2 hit refilled L1.
+	if _, level := h.Lookup(1); level != 1 {
+		t.Fatalf("refill failed: level = %d", level)
+	}
+	if h.L1Hits() != 2 || h.L2Hits() != 1 || h.Misses() != 1 {
+		t.Fatalf("traffic: l1=%d l2=%d miss=%d", h.L1Hits(), h.L2Hits(), h.Misses())
+	}
+	if !h.Invalidate(1) {
+		t.Fatal("invalidate failed")
+	}
+	if _, level := h.Lookup(1); level != 0 {
+		t.Fatal("key survived invalidation")
+	}
+	h.ResetCounters()
+	if h.L1Hits()+h.L2Hits()+h.Misses() != 0 {
+		t.Fatal("counters not reset")
+	}
+	if h.L1().Cap() != 2 || h.L2().Cap() != 8 {
+		t.Fatal("level accessors broken")
+	}
+}
+
+func TestTwoLevelFiltering(t *testing.T) {
+	// A hot few keys should be absorbed almost entirely by L1, leaving
+	// L2 traffic dominated by the colder tail.
+	h, _ := NewTwoLevel(8, 256, policy.LRUKind, 1)
+	r := hashutil.NewRNG(2)
+	for i := 0; i < 200000; i++ {
+		var key uint64
+		if r.Float64() < 0.9 {
+			key = r.Uint64n(4) // hot
+		} else {
+			key = 100 + r.Uint64n(400) // cold tail
+		}
+		if _, level := h.Lookup(key); level == 0 {
+			h.Insert(key, Entry{})
+		}
+	}
+	if h.L1Hits() < h.L2Hits() {
+		t.Fatalf("L1 hits %d below L2 hits %d for a hot working set", h.L1Hits(), h.L2Hits())
+	}
+}

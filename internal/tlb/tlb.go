@@ -1,0 +1,127 @@
+// Package tlb models a translation lookaside buffer: a small key-value
+// cache whose keys are virtual huge-page addresses and whose values are
+// w-bit encodings of physical locations.
+//
+// Matching the paper's Section 6 simulator, the TLB is fully associative
+// with a pluggable replacement policy (LRU by default, 1536 entries — the
+// size of Cascade Lake's L2 data TLB). Unlike a plain cache, each entry
+// carries a value; for decoupled configurations the value is the w-bit
+// field array produced by the core Encoder, while for classical
+// configurations it is a single physical huge-page address.
+package tlb
+
+import (
+	"fmt"
+
+	"addrxlat/internal/bitpack"
+	"addrxlat/internal/policy"
+)
+
+// Entry is a TLB entry's value: either a packed field array (decoupled
+// schemes) or a plain physical address (classical schemes). Exactly one is
+// meaningful per configuration.
+type Entry struct {
+	Fields *bitpack.FieldArray // decoupled: per-page location codes
+	Phys   uint64              // classical: physical huge-page address
+}
+
+// TLB is a fixed-capacity translation cache.
+type TLB struct {
+	entries int
+	policy  policy.Policy
+	values  map[uint64]Entry
+
+	hits   uint64
+	misses uint64
+}
+
+// New creates a TLB with the given entry count and replacement policy
+// kind. seed feeds randomized policies.
+func New(entries int, kind policy.Kind, seed uint64) (*TLB, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("tlb: entries must be positive, got %d", entries)
+	}
+	pol, err := policy.New(kind, entries, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{
+		entries: entries,
+		policy:  pol,
+		values:  make(map[uint64]Entry, entries),
+	}, nil
+}
+
+// Lookup checks whether huge page u is cached, updating recency state and
+// hit/miss counters. On a hit it returns the cached entry.
+func (t *TLB) Lookup(u uint64) (Entry, bool) {
+	if !t.policy.Contains(u) {
+		t.misses++
+		return Entry{}, false
+	}
+	t.policy.Access(u) // refresh recency
+	t.hits++
+	return t.values[u], true
+}
+
+// Insert caches the entry for huge page u, evicting per the policy. It
+// returns the evicted huge page and true if an eviction occurred. Callers
+// insert after a miss; inserting an already-present key just refreshes it.
+func (t *TLB) Insert(u uint64, e Entry) (victim uint64, evicted bool) {
+	_, v := t.policy.Access(u)
+	if v != policy.NoEviction {
+		delete(t.values, v)
+		victim, evicted = v, true
+	}
+	t.values[u] = e
+	return victim, evicted
+}
+
+// Update overwrites the value of a cached entry without touching recency
+// or counters. It reports whether u was present. The decoupled scheme uses
+// this when the encoder's ψ(u) changes while u sits in the TLB (the paper
+// makes these updates free).
+func (t *TLB) Update(u uint64, e Entry) bool {
+	if _, ok := t.values[u]; !ok {
+		return false
+	}
+	t.values[u] = e
+	return true
+}
+
+// Contains reports whether u is cached, without side effects.
+func (t *TLB) Contains(u uint64) bool { return t.policy.Contains(u) }
+
+// Value returns the cached entry without touching recency or counters.
+func (t *TLB) Value(u uint64) (Entry, bool) {
+	e, ok := t.values[u]
+	return e, ok
+}
+
+// Invalidate drops huge page u from the TLB (a TLB shootdown), reporting
+// whether it was present.
+func (t *TLB) Invalidate(u uint64) bool {
+	if !t.policy.Remove(u) {
+		return false
+	}
+	delete(t.values, u)
+	return true
+}
+
+// Hits and Misses return the lookup counters.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return t.policy.Len() }
+
+// Cap returns the entry capacity ℓ.
+func (t *TLB) Cap() int { return t.entries }
+
+// ResetCounters zeroes the hit/miss counters (used after cache warmup, as
+// in the paper's measurement methodology).
+func (t *TLB) ResetCounters() {
+	t.hits, t.misses = 0, 0
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the decoder: it must never panic and
+// must either return a valid trace or an error — and any trace it accepts
+// must round-trip back to an equivalent encoding.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: valid traces and near-misses.
+	var valid bytes.Buffer
+	_ = Write(&valid, []uint64{1, 2, 3, 1 << 40})
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	_ = Write(&empty, nil)
+	f.Add(empty.Bytes())
+	f.Add([]byte("ATPTRC01garbage"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pages, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: re-encode and re-decode must agree.
+		var buf bytes.Buffer
+		if err := Write(&buf, pages); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(pages) {
+			t.Fatalf("round-trip length %d != %d", len(again), len(pages))
+		}
+		for i := range pages {
+			if again[i] != pages[i] {
+				t.Fatalf("round-trip mismatch at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzWriteRead fuzzes the encode side with arbitrary page sequences.
+func FuzzWriteRead(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Build pages from the raw bytes (8 at a time, little endian-ish).
+		pages := make([]uint64, 0, len(raw)/2)
+		var cur uint64
+		for i, b := range raw {
+			cur = cur<<8 | uint64(b)
+			if i%2 == 1 {
+				pages = append(pages, cur)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, pages); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if len(got) != len(pages) {
+			t.Fatalf("length %d != %d", len(got), len(pages))
+		}
+		for i := range pages {
+			if got[i] != pages[i] {
+				t.Fatalf("mismatch at %d: %d != %d", i, got[i], pages[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package trace provides a compact binary format for page-access traces,
+// with streaming readers/writers and summary statistics.
+//
+// The paper's Figure 1c replays a recorded trace; this package is the
+// recording/replaying machinery. The format is deliberately simple and
+// self-describing:
+//
+//	magic   [8]byte  "ATPTRC01"
+//	count   uint64   number of accesses (little endian)
+//	deltas  varint-encoded zig-zag deltas between consecutive page numbers
+//
+// Delta+varint encoding exploits spatial locality: sequential scans cost
+// one byte per access instead of eight.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var magic = [8]byte{'A', 'T', 'P', 'T', 'R', 'C', '0', '1'}
+
+// ErrBadMagic indicates the input is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic; not a trace file")
+
+// Write encodes the page sequence to w.
+func Write(w io.Writer, pages []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(pages)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing count: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for _, p := range pages {
+		delta := int64(p) - int64(prev)
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: writing delta: %w", err)
+		}
+		prev = p
+	}
+	return bw.Flush()
+}
+
+// Read decodes a complete trace from r.
+func Read(r io.Reader) ([]uint64, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxReasonable = 1 << 33
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible access count %d", count)
+	}
+	pages := make([]uint64, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading delta %d/%d: %w", i, count, err)
+		}
+		cur := uint64(int64(prev) + delta)
+		pages[i] = cur
+		prev = cur
+	}
+	return pages, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses      uint64
+	DistinctPages uint64
+	MinPage       uint64
+	MaxPage       uint64
+	// Footprint is MaxPage − MinPage + 1 (0 for an empty trace).
+	Footprint uint64
+	// SequentialFrac is the fraction of accesses to the page following
+	// the previous access — a crude spatial-locality measure.
+	SequentialFrac float64
+	// RepeatFrac is the fraction of accesses to the same page as the
+	// previous access — a crude temporal-locality measure.
+	RepeatFrac float64
+}
+
+// Summarize computes Stats over a page sequence.
+func Summarize(pages []uint64) Stats {
+	var s Stats
+	s.Accesses = uint64(len(pages))
+	if len(pages) == 0 {
+		return s
+	}
+	distinct := make(map[uint64]struct{}, 1024)
+	s.MinPage = pages[0]
+	s.MaxPage = pages[0]
+	var sequential, repeats uint64
+	for i, p := range pages {
+		distinct[p] = struct{}{}
+		if p < s.MinPage {
+			s.MinPage = p
+		}
+		if p > s.MaxPage {
+			s.MaxPage = p
+		}
+		if i > 0 {
+			switch p {
+			case pages[i-1] + 1:
+				sequential++
+			case pages[i-1]:
+				repeats++
+			}
+		}
+	}
+	s.DistinctPages = uint64(len(distinct))
+	s.Footprint = s.MaxPage - s.MinPage + 1
+	if len(pages) > 1 {
+		s.SequentialFrac = float64(sequential) / float64(len(pages)-1)
+		s.RepeatFrac = float64(repeats) / float64(len(pages)-1)
+	}
+	return s
+}
+
+// String renders the stats for experiment logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d distinct=%d footprint=%d seq=%.3f rep=%.3f",
+		s.Accesses, s.DistinctPages, s.Footprint, s.SequentialFrac, s.RepeatFrac)
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"addrxlat/internal/hashutil"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{},
+		{0},
+		{42},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{0, 1 << 50, 3, 1 << 60, 0},
+	}
+	for i, pages := range cases {
+		var buf bytes.Buffer
+		if err := Write(&buf, pages); err != nil {
+			t.Fatalf("case %d: Write: %v", i, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("case %d: Read: %v", i, err)
+		}
+		if len(got) != len(pages) {
+			t.Fatalf("case %d: length %d, want %d", i, len(got), len(pages))
+		}
+		for j := range pages {
+			if got[j] != pages[j] {
+				t.Fatalf("case %d idx %d: got %d want %d", i, j, got[j], pages[j])
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pages []uint64) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, pages); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(pages) {
+			return false
+		}
+		for i := range pages {
+			if got[i] != pages[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE16BYTE!"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestCompressionOnSequential(t *testing.T) {
+	pages := make([]uint64, 10000)
+	for i := range pages {
+		pages[i] = uint64(i) + 5000
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential deltas are 1 byte each + 16 header + first delta.
+	if buf.Len() > 10000+32 {
+		t.Fatalf("sequential trace encoded in %d bytes, want ≈ 1 byte/access", buf.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.Accesses != 0 || s.Footprint != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+	s = Summarize([]uint64{5, 6, 6, 7, 100})
+	if s.Accesses != 5 || s.DistinctPages != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MinPage != 5 || s.MaxPage != 100 || s.Footprint != 96 {
+		t.Fatalf("range: %+v", s)
+	}
+	// transitions: 5→6 seq, 6→6 rep, 6→7 seq, 7→100 neither = 2/4 seq, 1/4 rep
+	if s.SequentialFrac != 0.5 || s.RepeatFrac != 0.25 {
+		t.Fatalf("locality: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarizeRandom(t *testing.T) {
+	r := hashutil.NewRNG(1)
+	pages := make([]uint64, 50000)
+	for i := range pages {
+		pages[i] = r.Uint64n(1 << 30)
+	}
+	s := Summarize(pages)
+	if s.SequentialFrac > 0.01 || s.RepeatFrac > 0.01 {
+		t.Fatalf("random trace shows locality: %+v", s)
+	}
+	if s.DistinctPages < 49000 {
+		t.Fatalf("random trace distinct=%d, want ≈ 50000", s.DistinctPages)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	r := hashutil.NewRNG(1)
+	pages := make([]uint64, 1<<16)
+	for i := range pages {
+		pages[i] = r.Uint64n(1 << 24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, pages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	r := hashutil.NewRNG(1)
+	pages := make([]uint64, 1<<16)
+	for i := range pages {
+		pages[i] = r.Uint64n(1 << 24)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pages); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterleaveErrors(t *testing.T) {
+	g, _ := NewUniform(100, 1)
+	if _, err := NewInterleave(nil, 10, 1); err == nil {
+		t.Error("no tenants should error")
+	}
+	if _, err := NewInterleave([]Generator{g}, 0, 1); err == nil {
+		t.Error("spaceBits=0 should error")
+	}
+	if _, err := NewInterleave([]Generator{g}, 57, 1); err == nil {
+		t.Error("spaceBits=57 should error")
+	}
+}
+
+func TestInterleaveTagging(t *testing.T) {
+	a, _ := NewUniform(1000, 1)
+	b, _ := NewUniform(1000, 2)
+	c, _ := NewUniform(1000, 3)
+	il, err := NewInterleave([]Generator{a, b, c}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Tenants() != 3 {
+		t.Fatalf("Tenants = %d", il.Tenants())
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		v := il.Next()
+		tenant := il.TenantOf(v)
+		if tenant < 0 || tenant > 2 {
+			t.Fatalf("page %d maps to tenant %d", v, tenant)
+		}
+		if v&(1<<10-1) >= 1000 {
+			t.Fatalf("page offset %d outside tenant space", v&(1<<10-1))
+		}
+		counts[tenant]++
+	}
+	// Tenants are picked uniformly: each ≈ 10000.
+	for i, c := range counts {
+		if math.Abs(float64(c)-10000) > 1000 {
+			t.Errorf("tenant %d got %d accesses, want ≈ 10000", i, c)
+		}
+	}
+}
+
+func TestInterleaveNoAliasing(t *testing.T) {
+	// Two tenants emitting the same local pages must produce disjoint
+	// merged pages.
+	a, _ := NewSequential(100)
+	b, _ := NewSequential(100)
+	il, _ := NewInterleave([]Generator{a, b}, 8, 9)
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		v := il.Next()
+		tenant := il.TenantOf(v)
+		if prev, ok := seen[v]; ok && prev != tenant {
+			t.Fatalf("page %d claimed by tenants %d and %d", v, prev, tenant)
+		}
+		seen[v] = tenant
+	}
+}
+
+func TestInterleavePanicsOnOverflowingTenant(t *testing.T) {
+	big, _ := NewUniform(1<<12, 1)
+	il, _ := NewInterleave([]Generator{big}, 8, 1) // tenant space 256 < 4096
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tenant page outside its space")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		il.Next()
+	}
+}
+
+func TestInterleaveName(t *testing.T) {
+	a, _ := NewUniform(10, 1)
+	il, _ := NewInterleave([]Generator{a, a}, 8, 1)
+	if il.Name() != "interleave(2 tenants)" {
+		t.Fatalf("Name = %q", il.Name())
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"addrxlat/internal/trace"
+)
+
+// Replay is a Generator backed by a recorded trace, cycling when it
+// reaches the end (so harnesses can draw warmup and measurement windows
+// longer than the recording, as trace-driven simulators commonly do).
+type Replay struct {
+	pages []uint64
+	next  int
+	laps  int
+}
+
+var _ Generator = (*Replay)(nil)
+
+// NewReplay wraps an in-memory page sequence.
+func NewReplay(pages []uint64) (*Replay, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &Replay{pages: pages}, nil
+}
+
+// NewReplayFrom reads a binary trace (trace.Write format) from r.
+func NewReplayFrom(r io.Reader) (*Replay, error) {
+	pages, err := trace.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(pages)
+}
+
+// Next implements Generator.
+func (rp *Replay) Next() uint64 {
+	v := rp.pages[rp.next]
+	rp.next++
+	if rp.next == len(rp.pages) {
+		rp.next = 0
+		rp.laps++
+	}
+	return v
+}
+
+// Name implements Generator.
+func (rp *Replay) Name() string { return "replay" }
+
+// Len returns the recording's length.
+func (rp *Replay) Len() int { return len(rp.pages) }
+
+// Laps reports how many times the recording has wrapped.
+func (rp *Replay) Laps() int { return rp.laps }
+
+// Phased switches between sub-generators on a fixed schedule, modeling
+// program phase behavior (init → compute → IO → compute …). Each phase
+// runs for its configured length of accesses, cycling through the list.
+type Phased struct {
+	phases   []Phase
+	current  int
+	left     int
+	switches int
+}
+
+// Phase is one phase of a phased workload.
+type Phase struct {
+	Gen    Generator
+	Length int // accesses before moving to the next phase
+}
+
+var _ Generator = (*Phased)(nil)
+
+// NewPhased builds a phase-switching generator.
+func NewPhased(phases []Phase) (*Phased, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: at least one phase required")
+	}
+	for i, p := range phases {
+		if p.Gen == nil {
+			return nil, fmt.Errorf("workload: phase %d has nil generator", i)
+		}
+		if p.Length <= 0 {
+			return nil, fmt.Errorf("workload: phase %d length %d must be positive", i, p.Length)
+		}
+	}
+	return &Phased{phases: phases, left: phases[0].Length}, nil
+}
+
+// Next implements Generator.
+func (p *Phased) Next() uint64 {
+	if p.left == 0 {
+		p.current = (p.current + 1) % len(p.phases)
+		p.left = p.phases[p.current].Length
+		p.switches++
+	}
+	p.left--
+	return p.phases[p.current].Gen.Next()
+}
+
+// Name implements Generator.
+func (p *Phased) Name() string { return fmt.Sprintf("phased(%d phases)", len(p.phases)) }
+
+// Switches reports how many phase transitions have occurred.
+func (p *Phased) Switches() int { return p.switches }

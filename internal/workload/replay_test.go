@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"addrxlat/internal/trace"
+)
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewReplayFrom(bytes.NewReader([]byte("junkjunkjunkjunk"))); err == nil {
+		t.Error("bad stream should error")
+	}
+}
+
+func TestReplayCycles(t *testing.T) {
+	rp, err := NewReplay([]uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Take(rp, 7)
+	want := []uint64{10, 20, 30, 10, 20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Take = %v", got)
+		}
+	}
+	if rp.Laps() != 2 {
+		t.Fatalf("Laps = %d, want 2", rp.Laps())
+	}
+	if rp.Len() != 3 {
+		t.Fatalf("Len = %d", rp.Len())
+	}
+	if rp.Name() != "replay" {
+		t.Fatal("name")
+	}
+}
+
+func TestReplayFromStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, []uint64{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Take(rp, 3); got[0] != 5 || got[2] != 7 {
+		t.Fatalf("Take = %v", got)
+	}
+}
+
+func TestPhasedErrors(t *testing.T) {
+	seq, _ := NewSequential(10)
+	if _, err := NewPhased(nil); err == nil {
+		t.Error("no phases should error")
+	}
+	if _, err := NewPhased([]Phase{{Gen: nil, Length: 5}}); err == nil {
+		t.Error("nil gen should error")
+	}
+	if _, err := NewPhased([]Phase{{Gen: seq, Length: 0}}); err == nil {
+		t.Error("zero length should error")
+	}
+}
+
+func TestPhasedSwitching(t *testing.T) {
+	a, _ := NewSequential(4)         // emits 0,1,2,3,0,...
+	b, _ := NewReplay([]uint64{100}) // emits 100 forever
+	p, err := NewPhased([]Phase{
+		{Gen: a, Length: 3},
+		{Gen: b, Length: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Take(p, 10)
+	want := []uint64{0, 1, 2, 100, 100, 3, 0, 1, 100, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Take = %v, want %v", got, want)
+		}
+	}
+	if p.Switches() != 3 {
+		t.Fatalf("Switches = %d, want 3", p.Switches())
+	}
+	if p.Name() != "phased(2 phases)" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
