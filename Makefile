@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test check bench race vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the packages that actually spawn
+# goroutines (the sweep worker pool and the experiment drivers that use it).
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/experiments/
+
+# bench runs the hot-path benchmarks with allocation reporting.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# check is the pre-commit gate: vet, full tests, race-detector pass over the
+# concurrent packages, and a 1-iteration benchmark smoke so the benchmark
+# harness itself can't rot.
+check: vet test race
+	$(GO) test -bench=BenchmarkAccess -benchtime=1x -run=^$$ .

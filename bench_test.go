@@ -332,6 +332,45 @@ func BenchmarkAccessDecoupled(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessTHP measures one adaptive-THP access (region tracking,
+// promotion checks, TLB).
+func BenchmarkAccessTHP(b *testing.B) {
+	gen, err := workload.NewBimodal(1<<12, 1<<18, 0.9999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<20)
+	alg, err := mm.NewTHP(mm.THPConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Access(reqs[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkAccessSuperpage measures one reservation-based superpage access.
+func BenchmarkAccessSuperpage(b *testing.B) {
+	gen, err := workload.NewBimodal(1<<12, 1<<18, 0.9999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<20)
+	alg, err := mm.NewSuperpage(mm.SuperpageConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Access(reqs[i&(1<<20-1)])
+	}
+}
+
 // BenchmarkGraph500TraceGeneration measures building the Figure 1c input.
 func BenchmarkGraph500TraceGeneration(b *testing.B) {
 	g, err := graph500.Generate(graph500.Config{Scale: 14, EdgeFactor: 16, Seed: 1})

@@ -19,9 +19,13 @@ import (
 	"addrxlat/internal/graph500"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/policy"
+	"addrxlat/internal/prof"
 	"addrxlat/internal/trace"
 	"addrxlat/internal/workload"
 )
+
+// profile is flushed on every exit path, including fail().
+var profile *prof.Flags
 
 func main() {
 	var (
@@ -48,7 +52,16 @@ func main() {
 		dumpTo  = flag.String("dump-trace", "", "also write the measured trace to this file")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating a workload")
 	)
+	profile = prof.Register(nil)
 	flag.Parse()
+	if err := profile.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if !flushProfile() {
+			os.Exit(1)
+		}
+	}()
 
 	var (
 		warm, meas []uint64
@@ -231,7 +244,21 @@ func buildAlgorithm(kind string, alloc core.AllocKind, h, g, vPages, ramPages ui
 	}
 }
 
+// flushProfile stops the CPU profile and writes the heap profile, if
+// either was requested. It reports whether flushing succeeded.
+func flushProfile() bool {
+	if profile == nil {
+		return true
+	}
+	if err := profile.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "atsim: %v\n", err)
+		return false
+	}
+	return true
+}
+
 func fail(err error) {
+	flushProfile()
 	fmt.Fprintf(os.Stderr, "atsim: %v\n", err)
 	os.Exit(1)
 }

@@ -18,7 +18,11 @@ import (
 	"strings"
 
 	"addrxlat/internal/experiments"
+	"addrxlat/internal/prof"
 )
+
+// profile is flushed on every exit path, including die().
+var profile *prof.Flags
 
 func main() {
 	var (
@@ -28,7 +32,16 @@ func main() {
 		format = flag.String("format", "tsv", "output format: tsv|csv")
 		outDir = flag.String("out", "", "write one file per experiment into this directory (default stdout)")
 	)
+	profile = prof.Register(nil)
 	flag.Parse()
+	if err := profile.Start(); err != nil {
+		die(1, "figures: %v\n", err)
+	}
+	defer func() {
+		if !flushProfile() {
+			os.Exit(1)
+		}
+	}()
 
 	scale := experiments.DownScale()
 	if *full {
@@ -83,22 +96,39 @@ func main() {
 			}
 		}
 		if len(selected) == 0 {
-			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (want one of f1a f1b f1c t1 t2 t3 t4 e2 e3 e4 e5 h1 all)\n", *fig)
-			os.Exit(2)
+			die(2, "figures: unknown experiment %q (want one of f1a f1b f1c t1 t2 t3 t4 e2 e3 e4 e5 h1 all)\n", *fig)
 		}
 	}
 
 	for _, e := range selected {
 		tab, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
-			os.Exit(1)
+			die(1, "figures: %s: %v\n", e.id, err)
 		}
 		if err := emit(tab, *format, *outDir); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
-			os.Exit(1)
+			die(1, "figures: %s: %v\n", e.id, err)
 		}
 	}
+}
+
+// flushProfile stops the CPU profile and writes the heap profile, if
+// either was requested. It reports whether flushing succeeded.
+func flushProfile() bool {
+	if profile == nil {
+		return true
+	}
+	if err := profile.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		return false
+	}
+	return true
+}
+
+// die flushes profiles before exiting, since os.Exit skips defers.
+func die(code int, format string, args ...interface{}) {
+	flushProfile()
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(code)
 }
 
 func emit(tab *experiments.Table, format, outDir string) error {

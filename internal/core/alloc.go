@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/bits"
+
+	"addrxlat/internal/dense"
 )
 
 // Allocator is a RAM-allocation scheme (Section 3): it assigns each page
@@ -69,7 +71,7 @@ func NewAllocator(p Params, seed uint64) (Allocator, error) {
 type FullAllocator struct {
 	p        uint64
 	freeList []uint64
-	phys     map[uint64]uint64 // virtual -> physical
+	phys     *dense.Table[uint64] // virtual -> physical, flat by page number
 }
 
 var _ Allocator = (*FullAllocator)(nil)
@@ -82,7 +84,7 @@ func NewFullAllocator(P uint64) *FullAllocator {
 	f := &FullAllocator{
 		p:        P,
 		freeList: make([]uint64, 0, P),
-		phys:     make(map[uint64]uint64),
+		phys:     dense.NewTable[uint64](^uint64(0), 0),
 	}
 	// Stack the free list so frame 0 is handed out first.
 	for i := P; i > 0; i-- {
@@ -93,7 +95,7 @@ func NewFullAllocator(P uint64) *FullAllocator {
 
 // Assign implements Allocator.
 func (f *FullAllocator) Assign(v uint64) (uint64, bool) {
-	if _, dup := f.phys[v]; dup {
+	if f.phys.Contains(v) {
 		panic(fmt.Sprintf("core: double Assign of page %d", v))
 	}
 	if len(f.freeList) == 0 {
@@ -101,24 +103,23 @@ func (f *FullAllocator) Assign(v uint64) (uint64, bool) {
 	}
 	frame := f.freeList[len(f.freeList)-1]
 	f.freeList = f.freeList[:len(f.freeList)-1]
-	f.phys[v] = frame
+	f.phys.Set(v, frame)
 	return frame, true
 }
 
 // Release implements Allocator.
 func (f *FullAllocator) Release(v uint64) {
-	frame, ok := f.phys[v]
+	frame, ok := f.phys.Get(v)
 	if !ok {
 		panic(fmt.Sprintf("core: Release of unassigned page %d", v))
 	}
-	delete(f.phys, v)
+	f.phys.Delete(v)
 	f.freeList = append(f.freeList, frame)
 }
 
 // PhysOf implements Allocator.
 func (f *FullAllocator) PhysOf(v uint64) (uint64, bool) {
-	frame, ok := f.phys[v]
-	return frame, ok
+	return f.phys.Get(v)
 }
 
 // Decode implements Allocator. For the fully associative scheme the code
@@ -132,7 +133,7 @@ func (f *FullAllocator) CodeBound() uint64 { return f.p }
 func (f *FullAllocator) Associativity() uint64 { return f.p }
 
 // Resident implements Allocator.
-func (f *FullAllocator) Resident() uint64 { return uint64(len(f.phys)) }
+func (f *FullAllocator) Resident() uint64 { return uint64(f.phys.Len()) }
 
 // Name implements Allocator.
 func (f *FullAllocator) Name() string { return string(FullyAssociative) }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/hashutil"
 )
 
@@ -20,15 +21,13 @@ type IcebergAllocator struct {
 	space  *bucketSpace
 	front  []int32 // per-bucket count of front-inserted pages
 	back   []int32 // per-bucket count of back-inserted pages
-	where  map[uint64]icebergLoc
+	// where stores, flat by virtual page number, the page's location code
+	// choice·B + slot — the same value Assign returns — or the table's
+	// absent sentinel when the page is not resident.
+	where *dense.Table[uint32]
 
 	frontAssigns uint64
 	backAssigns  uint64
-}
-
-type icebergLoc struct {
-	choice uint8 // 0 = front (h₁), 1 = h₂, 2 = h₃
-	slot   uint32
 }
 
 var _ Allocator = (*IcebergAllocator)(nil)
@@ -49,13 +48,13 @@ func NewIcebergAllocator(p Params, seed uint64) (*IcebergAllocator, error) {
 		space:  newBucketSpace(p.NumBuckets, p.B),
 		front:  make([]int32, p.NumBuckets),
 		back:   make([]int32, p.NumBuckets),
-		where:  make(map[uint64]icebergLoc),
+		where:  dense.NewTable[uint32](^uint32(0), 0),
 	}, nil
 }
 
 // Assign implements Allocator.
 func (a *IcebergAllocator) Assign(v uint64) (uint64, bool) {
-	if _, dup := a.where[v]; dup {
+	if a.where.Contains(v) {
 		panic(fmt.Sprintf("core: double Assign of page %d", v))
 	}
 	// Front path: bucket h₁(v) if its front occupancy is under threshold.
@@ -63,7 +62,7 @@ func (a *IcebergAllocator) Assign(v uint64) (uint64, bool) {
 	if int(a.front[b0]) < a.params.Threshold {
 		if slot := a.space.takeSlot(b0); slot >= 0 {
 			a.front[b0]++
-			a.where[v] = icebergLoc{choice: 0, slot: uint32(slot)}
+			a.where.Set(v, uint32(slot))
 			a.frontAssigns++
 			return uint64(slot), true
 		}
@@ -80,43 +79,46 @@ func (a *IcebergAllocator) Assign(v uint64) (uint64, bool) {
 	}
 	if slot := a.space.takeSlot(first); slot >= 0 {
 		a.back[first]++
-		a.where[v] = icebergLoc{choice: firstChoice, slot: uint32(slot)}
+		code := uint32(firstChoice)*uint32(a.params.B) + uint32(slot)
+		a.where.Set(v, code)
 		a.backAssigns++
-		return uint64(firstChoice)*uint64(a.params.B) + uint64(slot), true
+		return uint64(code), true
 	}
 	if slot := a.space.takeSlot(second); slot >= 0 {
 		a.back[second]++
-		a.where[v] = icebergLoc{choice: secondChoice, slot: uint32(slot)}
+		code := uint32(secondChoice)*uint32(a.params.B) + uint32(slot)
+		a.where.Set(v, code)
 		a.backAssigns++
-		return uint64(secondChoice)*uint64(a.params.B) + uint64(slot), true
+		return uint64(code), true
 	}
 	return 0, false // paging failure: all candidate buckets full
 }
 
 // Release implements Allocator.
 func (a *IcebergAllocator) Release(v uint64) {
-	loc, ok := a.where[v]
+	code, ok := a.where.Get(v)
 	if !ok {
 		panic(fmt.Sprintf("core: Release of unassigned page %d", v))
 	}
-	bucket := a.fam.At(int(loc.choice), v)
-	a.space.freeSlot(bucket, int(loc.slot))
-	if loc.choice == 0 {
+	choice := int(code) / a.params.B
+	slot := int(code) % a.params.B
+	bucket := a.fam.At(choice, v)
+	a.space.freeSlot(bucket, slot)
+	if choice == 0 {
 		a.front[bucket]--
 	} else {
 		a.back[bucket]--
 	}
-	delete(a.where, v)
+	a.where.Delete(v)
 }
 
 // PhysOf implements Allocator.
 func (a *IcebergAllocator) PhysOf(v uint64) (uint64, bool) {
-	loc, ok := a.where[v]
+	code, ok := a.where.Get(v)
 	if !ok {
 		return 0, false
 	}
-	bucket := a.fam.At(int(loc.choice), v)
-	return bucket*uint64(a.params.B) + uint64(loc.slot), true
+	return a.Decode(v, uint64(code)), true
 }
 
 // Decode implements Allocator: code = choice·B + slot; the bucket for the
@@ -135,7 +137,7 @@ func (a *IcebergAllocator) CodeBound() uint64 { return 3 * uint64(a.params.B) }
 func (a *IcebergAllocator) Associativity() uint64 { return 3 * uint64(a.params.B) }
 
 // Resident implements Allocator.
-func (a *IcebergAllocator) Resident() uint64 { return uint64(len(a.where)) }
+func (a *IcebergAllocator) Resident() uint64 { return uint64(a.where.Len()) }
 
 // Name implements Allocator.
 func (a *IcebergAllocator) Name() string { return string(IcebergAlloc) }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/hashutil"
 )
 
@@ -14,7 +15,7 @@ type BucketAllocator struct {
 	params Params
 	fam    *hashutil.Family
 	space  *bucketSpace
-	slots  map[uint64]uint32 // virtual page -> slot index within its bucket
+	slots  *dense.Table[uint32] // virtual page -> slot index within its bucket
 }
 
 var _ Allocator = (*BucketAllocator)(nil)
@@ -32,7 +33,7 @@ func NewBucketAllocator(p Params, seed uint64) (*BucketAllocator, error) {
 		params: p,
 		fam:    hashutil.NewFamily(seed, 1, p.NumBuckets),
 		space:  newBucketSpace(p.NumBuckets, p.B),
-		slots:  make(map[uint64]uint32),
+		slots:  dense.NewTable[uint32](^uint32(0), 0),
 	}, nil
 }
 
@@ -41,7 +42,7 @@ func (a *BucketAllocator) bucketOf(v uint64) uint64 { return a.fam.At(0, v) }
 
 // Assign implements Allocator.
 func (a *BucketAllocator) Assign(v uint64) (uint64, bool) {
-	if _, dup := a.slots[v]; dup {
+	if a.slots.Contains(v) {
 		panic(fmt.Sprintf("core: double Assign of page %d", v))
 	}
 	bucket := a.bucketOf(v)
@@ -49,23 +50,23 @@ func (a *BucketAllocator) Assign(v uint64) (uint64, bool) {
 	if slot < 0 {
 		return 0, false // paging failure: the page's only bucket is full
 	}
-	a.slots[v] = uint32(slot)
+	a.slots.Set(v, uint32(slot))
 	return uint64(slot), true
 }
 
 // Release implements Allocator.
 func (a *BucketAllocator) Release(v uint64) {
-	slot, ok := a.slots[v]
+	slot, ok := a.slots.Get(v)
 	if !ok {
 		panic(fmt.Sprintf("core: Release of unassigned page %d", v))
 	}
 	a.space.freeSlot(a.bucketOf(v), int(slot))
-	delete(a.slots, v)
+	a.slots.Delete(v)
 }
 
 // PhysOf implements Allocator.
 func (a *BucketAllocator) PhysOf(v uint64) (uint64, bool) {
-	slot, ok := a.slots[v]
+	slot, ok := a.slots.Get(v)
 	if !ok {
 		return 0, false
 	}
@@ -85,7 +86,7 @@ func (a *BucketAllocator) CodeBound() uint64 { return uint64(a.params.B) }
 func (a *BucketAllocator) Associativity() uint64 { return uint64(a.params.B) }
 
 // Resident implements Allocator.
-func (a *BucketAllocator) Resident() uint64 { return uint64(len(a.slots)) }
+func (a *BucketAllocator) Resident() uint64 { return uint64(a.slots.Len()) }
 
 // Name implements Allocator.
 func (a *BucketAllocator) Name() string { return string(SingleChoice) }

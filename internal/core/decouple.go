@@ -81,7 +81,7 @@ func (s *Scheme) PageIn(v uint64) (ok bool) {
 // active set.
 func (s *Scheme) PageOut(v uint64) {
 	s.pageOuts++
-	if s.failed[v] {
+	if len(s.failed) > 0 && s.failed[v] {
 		delete(s.failed, v)
 		return
 	}
@@ -92,7 +92,7 @@ func (s *Scheme) PageOut(v uint64) {
 // InActiveSet reports whether v is currently in the active set (including
 // pages suffering a paging failure).
 func (s *Scheme) InActiveSet(v uint64) bool {
-	if s.failed[v] {
+	if len(s.failed) > 0 && s.failed[v] {
 		return true
 	}
 	_, ok := s.alloc.PhysOf(v)
@@ -125,8 +125,11 @@ func (s *Scheme) LookupIn(v uint64, value *bitpack.FieldArray) uint64 {
 // Failures returns |F|, the number of in-force paging failures.
 func (s *Scheme) Failures() int { return len(s.failed) }
 
-// IsFailed reports whether v is currently in the failure set F.
-func (s *Scheme) IsFailed(v uint64) bool { return s.failed[v] }
+// IsFailed reports whether v is currently in the failure set F. The
+// empty-set fast path keeps this off the hash on the per-access hot path:
+// failures are rare by construction (w.h.p. none occur), so the common
+// case is a single length check.
+func (s *Scheme) IsFailed(v uint64) bool { return len(s.failed) > 0 && s.failed[v] }
 
 // TotalFailures returns the number of paging failures over the scheme's
 // lifetime (entries ever added to F).

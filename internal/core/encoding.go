@@ -20,16 +20,22 @@ const NullAddress = ^uint64(0)
 // The Encoder is updated by the decoupling scheme whenever the
 // RAM-replacement policy changes the active set; the TLB model reads
 // values out when the TLB-replacement policy inserts a huge page.
+// The entries table is flat, indexed by huge-page number: virtual huge
+// pages are densely numbered in [0, V/hmax], so ψ lives in an array rather
+// than a hash table. An entry whose huge page has no resident pages keeps
+// its (all-absent) field array cached, so churn on a huge page allocates
+// its value exactly once over the encoder's lifetime.
 type Encoder struct {
 	params    Params
-	values    map[uint64]*encEntry // huge page -> ψ(u) plus resident count
-	absent    uint64               // sentinel code
-	allAbsent *bitpack.FieldArray  // shared read-only "no pages resident" value
+	entries   []encEntry          // flat by huge page; arr == nil ⇒ never touched
+	active    int                 // entries with resident > 0
+	absent    uint64              // sentinel code
+	allAbsent *bitpack.FieldArray // shared read-only "no pages resident" value
 }
 
 type encEntry struct {
 	arr      *bitpack.FieldArray
-	resident int
+	resident int32
 }
 
 // NewEncoder creates the encoding scheme for the given parameters.
@@ -41,10 +47,29 @@ func NewEncoder(p Params) *Encoder {
 	allAbsent.Fill(p.AbsentCode())
 	return &Encoder{
 		params:    p,
-		values:    make(map[uint64]*encEntry),
 		absent:    p.AbsentCode(),
 		allAbsent: allAbsent,
 	}
+}
+
+// entryFor returns the (possibly fresh) entry for huge page u, growing the
+// flat table on demand.
+func (e *Encoder) entryFor(u uint64) *encEntry {
+	if u >= uint64(len(e.entries)) {
+		newLen := uint64(len(e.entries))*2 + 1
+		if newLen <= u {
+			newLen = u + 1
+		}
+		entries := make([]encEntry, newLen)
+		copy(entries, e.entries)
+		e.entries = entries
+	}
+	ent := &e.entries[u]
+	if ent.arr == nil {
+		ent.arr = bitpack.NewFieldArray(e.params.HMax, e.params.BitsPerPage)
+		ent.arr.Fill(e.absent)
+	}
+	return ent
 }
 
 // PageAdded records that virtual page v became resident with the given
@@ -53,29 +78,25 @@ func (e *Encoder) PageAdded(v uint64, code uint64) {
 	if code >= e.absent {
 		panic(fmt.Sprintf("core: code %d out of range [0,%d)", code, e.absent))
 	}
-	u := e.params.HugePage(v)
-	ent, ok := e.values[u]
-	if !ok {
-		arr := bitpack.NewFieldArray(e.params.HMax, e.params.BitsPerPage)
-		arr.Fill(e.absent)
-		ent = &encEntry{arr: arr}
-		e.values[u] = ent
-	}
+	ent := e.entryFor(e.params.HugePage(v))
 	idx := e.params.PageIndex(v)
 	if ent.arr.Get(idx) != e.absent {
 		panic(fmt.Sprintf("core: PageAdded for already-resident page %d", v))
 	}
 	ent.arr.Set(idx, code)
+	if ent.resident == 0 {
+		e.active++
+	}
 	ent.resident++
 }
 
 // PageRemoved records that virtual page v left the active set.
 func (e *Encoder) PageRemoved(v uint64) {
 	u := e.params.HugePage(v)
-	ent, ok := e.values[u]
-	if !ok {
+	if u >= uint64(len(e.entries)) || e.entries[u].arr == nil || e.entries[u].resident == 0 {
 		panic(fmt.Sprintf("core: PageRemoved for page %d with no encoded huge page", v))
 	}
+	ent := &e.entries[u]
 	idx := e.params.PageIndex(v)
 	if ent.arr.Get(idx) == e.absent {
 		panic(fmt.Sprintf("core: PageRemoved for non-resident page %d", v))
@@ -83,7 +104,7 @@ func (e *Encoder) PageRemoved(v uint64) {
 	ent.arr.Set(idx, e.absent)
 	ent.resident--
 	if ent.resident == 0 {
-		delete(e.values, u)
+		e.active--
 	}
 }
 
@@ -92,8 +113,10 @@ func (e *Encoder) PageRemoved(v uint64) {
 // The returned array must be treated as read-only; the TLB copies it on
 // insertion (Snapshot) to model the hardware latching a value.
 func (e *Encoder) Value(u uint64) *bitpack.FieldArray {
-	if ent, ok := e.values[u]; ok {
-		return ent.arr
+	// A cached entry with resident == 0 holds all-absent codes, so it is
+	// interchangeable with the shared allAbsent value.
+	if u < uint64(len(e.entries)) && e.entries[u].arr != nil {
+		return e.entries[u].arr
 	}
 	return e.allAbsent
 }
@@ -106,15 +129,15 @@ func (e *Encoder) Snapshot(u uint64) *bitpack.FieldArray {
 // ResidentInHugePage returns how many of u's constituent pages are
 // resident.
 func (e *Encoder) ResidentInHugePage(u uint64) int {
-	if ent, ok := e.values[u]; ok {
-		return ent.resident
+	if u < uint64(len(e.entries)) {
+		return int(e.entries[u].resident)
 	}
 	return 0
 }
 
-// EncodedHugePages returns how many huge pages currently have an entry in
-// the encoder's table (i.e. at least one resident page).
-func (e *Encoder) EncodedHugePages() int { return len(e.values) }
+// EncodedHugePages returns how many huge pages currently have at least one
+// resident page (the occupancy of the proof's "constant time" table).
+func (e *Encoder) EncodedHugePages() int { return e.active }
 
 // Decode is the TLB-decoding function f (Equation 4 of the paper): given a
 // virtual page address v and a TLB value ψ(u) for the huge page u ∋ v, it

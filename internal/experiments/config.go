@@ -14,6 +14,11 @@ type Scale struct {
 	SpaceDiv uint64
 	// AccessDiv divides the warmup and measured access counts.
 	AccessDiv uint64
+	// Workers bounds the goroutines a sweep may fan out across (each
+	// parameter point is one task). 0 means GOMAXPROCS. 1 forces the
+	// sweep sequential — results are identical either way, since every
+	// point is independently seeded and lands in an order-stable slot.
+	Workers int
 }
 
 // PaperScale runs the paper's exact dimensions (hours of CPU).
@@ -79,4 +84,10 @@ func HugePageSweep() []uint64 {
 // sweeps parallelize across huge-page sizes / parameter values.
 func forEach(n int, fn func(i int) error) error {
 	return parallel.ForEach(n, 0, fn)
+}
+
+// forEach is the Scale-aware variant: the sweep fans out across at most
+// s.Workers goroutines (GOMAXPROCS when 0).
+func (s Scale) forEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(n, s.Workers, fn)
 }

@@ -29,7 +29,7 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 		hs := HugePageSweep()
 		costs := make([]mm.Costs, len(hs))
 		valid := make([]bool, len(hs))
-		if err := forEach(len(hs), func(i int) error {
+		if err := s.forEach(len(hs), func(i int) error {
 			if machine.ramPages < hs[i] {
 				return nil
 			}

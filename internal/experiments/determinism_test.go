@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderTSV materializes a table to bytes for exact comparison.
+func renderTSV(t *testing.T, tab *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tab.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestFig1Deterministic is the regression guard for the parallel sweep:
+// the same seed must produce a byte-identical Figure 1 table whether the
+// huge-page rows run sequentially (Workers=1), on all cores (Workers=0),
+// or on a repeated run — i.e. parallelism and map-iteration order leak
+// nowhere into the numbers.
+func TestFig1Deterministic(t *testing.T) {
+	s := Scale{SpaceDiv: 4096, AccessDiv: 10000}
+
+	parallel := s // Workers=0: GOMAXPROCS
+	sequential := s
+	sequential.Workers = 1
+
+	first, err := Fig1(F1aBimodal, parallel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := renderTSV(t, first)
+
+	again, err := Fig1(F1aBimodal, parallel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTSV(t, again); got != ref {
+		t.Errorf("parallel rerun with same seed differs:\n--- first\n%s--- rerun\n%s", ref, got)
+	}
+
+	seq, err := Fig1(F1aBimodal, sequential, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTSV(t, seq); got != ref {
+		t.Errorf("sequential sweep differs from parallel:\n--- parallel\n%s--- sequential\n%s", ref, got)
+	}
+}

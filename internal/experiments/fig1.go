@@ -131,7 +131,7 @@ func Fig1(w Fig1Workload, s Scale, seed uint64) (*Table, error) {
 		costs mm.Costs
 	}
 	points := make([]point, len(hs))
-	err = forEach(len(hs), func(i int) error {
+	err = s.forEach(len(hs), func(i int) error {
 		h := hs[i]
 		if machine.ramPages < h {
 			// Degenerate at extreme scaling: RAM smaller than one huge

@@ -56,6 +56,7 @@ type Coalesced struct {
 }
 
 var _ Algorithm = (*Coalesced)(nil)
+var _ Batcher = (*Coalesced)(nil)
 
 // NewCoalesced builds the baseline.
 func NewCoalesced(cfg CoalescedConfig) (*Coalesced, error) {
@@ -134,6 +135,13 @@ func (m *Coalesced) Access(v uint64) {
 	} else {
 		m.tlb.Insert(coalKeySingle(v), tlb.Entry{})
 		m.singles++
+	}
+}
+
+// AccessBatch implements Batcher.
+func (m *Coalesced) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		m.Access(v)
 	}
 }
 

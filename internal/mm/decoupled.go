@@ -61,13 +61,13 @@ type decoupledTLB interface {
 
 type fullDecoupledTLB struct{ t *tlb.TLB }
 
-func (f fullDecoupledTLB) lookupHit(u uint64) bool { _, ok := f.t.Lookup(u); return ok }
+func (f fullDecoupledTLB) lookupHit(u uint64) bool { return f.t.LookupHit(u) }
 func (f fullDecoupledTLB) insertEntry(u uint64)    { f.t.Insert(u, tlb.Entry{}) }
 func (f fullDecoupledTLB) resetCounters()          { f.t.ResetCounters() }
 
 type setDecoupledTLB struct{ t *tlb.SetAssociative }
 
-func (s setDecoupledTLB) lookupHit(u uint64) bool { _, ok := s.t.Lookup(u); return ok }
+func (s setDecoupledTLB) lookupHit(u uint64) bool { return s.t.LookupHit(u) }
 func (s setDecoupledTLB) insertEntry(u uint64)    { s.t.Insert(u, tlb.Entry{}) }
 func (s setDecoupledTLB) resetCounters()          { s.t.ResetCounters() }
 
@@ -99,6 +99,7 @@ type Decoupled struct {
 }
 
 var _ Algorithm = (*Decoupled)(nil)
+var _ Batcher = (*Decoupled)(nil)
 
 // NewDecoupled builds algorithm Z from the configuration.
 func NewDecoupled(cfg DecoupledConfig) (*Decoupled, error) {
@@ -177,6 +178,13 @@ func (z *Decoupled) Access(v uint64) {
 		// v is resident and not failed, so f must decode it; reaching
 		// here indicates a broken encoding, which must never happen.
 		panic(fmt.Sprintf("mm: resident page %d failed to decode", v))
+	}
+}
+
+// AccessBatch implements Batcher.
+func (z *Decoupled) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		z.Access(v)
 	}
 }
 

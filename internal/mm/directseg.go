@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -47,7 +48,7 @@ type DirectSegment struct {
 	cfg       DirectSegmentConfig
 	tlb       *tlb.TLB
 	ram       policy.Policy // conventional pages, capacity RAMPages−SegmentPages
-	populated map[uint64]bool
+	populated *dense.Bitset // segment pages demand-loaded so far
 
 	costs       Costs
 	segmentHits uint64
@@ -55,6 +56,7 @@ type DirectSegment struct {
 }
 
 var _ Algorithm = (*DirectSegment)(nil)
+var _ Batcher = (*DirectSegment)(nil)
 
 // NewDirectSegment builds the baseline.
 func NewDirectSegment(cfg DirectSegmentConfig) (*DirectSegment, error) {
@@ -73,7 +75,7 @@ func NewDirectSegment(cfg DirectSegmentConfig) (*DirectSegment, error) {
 		cfg:       cfg,
 		tlb:       t,
 		ram:       ram,
-		populated: make(map[uint64]bool),
+		populated: dense.NewBitset(0),
 	}, nil
 }
 
@@ -88,8 +90,7 @@ func (d *DirectSegment) Access(v uint64) {
 	if d.inSegment(v) {
 		// Translated by the segment register: never a TLB miss. First
 		// touch demand-loads the page into the pinned region.
-		if !d.populated[v] {
-			d.populated[v] = true
+		if d.populated.Add(v) {
 			d.costs.IOs++
 		}
 		d.segmentHits++
@@ -102,6 +103,13 @@ func (d *DirectSegment) Access(v uint64) {
 	if _, ok := d.tlb.Lookup(v); !ok {
 		d.costs.TLBMisses++
 		d.tlb.Insert(v, tlb.Entry{})
+	}
+}
+
+// AccessBatch implements Batcher.
+func (d *DirectSegment) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		d.Access(v)
 	}
 }
 

@@ -82,6 +82,7 @@ type Geometry struct {
 }
 
 var _ Algorithm = (*Geometry)(nil)
+var _ Batcher = (*Geometry)(nil)
 
 // NewGeometry builds the algorithm.
 func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
@@ -133,6 +134,13 @@ func (g *Geometry) Access(v uint64) {
 	if !g.cache.lookup(v) {
 		g.costs.TLBMisses++
 		g.cache.insert(v)
+	}
+}
+
+// AccessBatch implements Batcher.
+func (g *Geometry) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		g.Access(v)
 	}
 }
 

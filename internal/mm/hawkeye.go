@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -67,11 +68,17 @@ func (c *HawkEyeConfig) validate() error {
 type HawkEye struct {
 	cfg HawkEyeConfig
 	tlb *tlb.TLB
-	ram *policy.LRU
+	ram *policy.DenseLRU
 
-	resident map[uint64]uint64 // region -> resident base pages (unpromoted)
-	promoted map[uint64]bool
-	hotness  map[uint64]uint64 // region -> accesses this epoch
+	// Flat per-region state (sentinel 0 works for both counters: present
+	// regions always have ≥ 1 resident page / ≥ 1 epoch access). touched
+	// lists the regions with nonzero hotness, in first-touch order, so the
+	// epoch scan and reset walk only what the epoch used — deterministically,
+	// where the map version relied on a sort to undo range-order randomness.
+	resident *dense.Table[uint32] // region -> resident base pages (unpromoted)
+	promoted *dense.Bitset
+	hotness  *dense.Table[uint64] // region -> accesses this epoch
+	touched  []uint64             // regions with hotness > 0, first-touch order
 	used     uint64
 	tick     int
 
@@ -81,6 +88,7 @@ type HawkEye struct {
 }
 
 var _ Algorithm = (*HawkEye)(nil)
+var _ Batcher = (*HawkEye)(nil)
 
 // NewHawkEye builds the baseline.
 func NewHawkEye(cfg HawkEyeConfig) (*HawkEye, error) {
@@ -94,10 +102,10 @@ func NewHawkEye(cfg HawkEyeConfig) (*HawkEye, error) {
 	return &HawkEye{
 		cfg:      cfg,
 		tlb:      t,
-		ram:      policy.NewLRU(int(cfg.RAMPages)),
-		resident: make(map[uint64]uint64),
-		promoted: make(map[uint64]bool),
-		hotness:  make(map[uint64]uint64),
+		ram:      policy.NewDenseLRU(int(cfg.RAMPages), 0),
+		resident: dense.NewTable[uint32](0, 0),
+		promoted: dense.NewBitset(0),
+		hotness:  dense.NewTable[uint64](0, 0),
 	}, nil
 }
 
@@ -122,16 +130,16 @@ func (m *HawkEye) dropUnit(id uint64) {
 	m.used -= m.pagesOf(id)
 	if isHugeUnit(id) {
 		r := unitRegion(id)
-		delete(m.promoted, r)
+		m.promoted.Remove(r)
 		m.demotions++
 		m.tlb.Invalidate(tlbHuge(r))
 	} else {
 		v := unitRegion(id)
 		r := v / m.cfg.HugePageSize
-		if m.resident[r] <= 1 {
-			delete(m.resident, r)
+		if c := m.resident.At(r); c <= 1 {
+			m.resident.Delete(r)
 		} else {
-			m.resident[r]--
+			m.resident.Set(r, c-1)
 		}
 		m.tlb.Invalidate(tlbBase(v))
 	}
@@ -141,10 +149,14 @@ func (m *HawkEye) dropUnit(id uint64) {
 func (m *HawkEye) Access(v uint64) {
 	m.costs.Accesses++
 	r := v / m.cfg.HugePageSize
-	m.hotness[r]++
+	hot := m.hotness.At(r)
+	if hot == 0 {
+		m.touched = append(m.touched, r)
+	}
+	m.hotness.Set(r, hot+1)
 
 	var tlbKey uint64
-	if m.promoted[r] {
+	if m.promoted.Contains(r) {
 		m.ram.Access(unitHuge(r))
 		tlbKey = tlbHuge(r)
 	} else {
@@ -154,7 +166,7 @@ func (m *HawkEye) Access(v uint64) {
 			m.evictUntilFits(1)
 			m.ram.Access(id)
 			m.used++
-			m.resident[r]++
+			m.resident.Set(r, m.resident.At(r)+1)
 		} else {
 			m.ram.Access(id)
 		}
@@ -182,14 +194,14 @@ func (m *HawkEye) epochPromote() {
 		hot    uint64
 	}
 	var cands []cand
-	for r, hot := range m.hotness {
-		if m.promoted[r] {
+	for _, r := range m.touched {
+		if m.promoted.Contains(r) {
 			continue
 		}
-		if int(m.resident[r]) < m.cfg.MinResident {
+		if int(m.resident.At(r)) < m.cfg.MinResident {
 			continue
 		}
-		cands = append(cands, cand{r, hot})
+		cands = append(cands, cand{r, m.hotness.At(r)})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].hot != cands[j].hot {
@@ -205,12 +217,15 @@ func (m *HawkEye) epochPromote() {
 		m.promote(c.region)
 		budget--
 	}
-	m.hotness = make(map[uint64]uint64, len(m.hotness))
+	for _, r := range m.touched {
+		m.hotness.Delete(r)
+	}
+	m.touched = m.touched[:0]
 }
 
 // promote copy-promotes region r (as THP does: missing pages are fetched).
 func (m *HawkEye) promote(r uint64) {
-	have := m.resident[r]
+	have := uint64(m.resident.At(r))
 	m.costs.IOs += m.cfg.HugePageSize - have
 	start := r * m.cfg.HugePageSize
 	for v := start; v < start+m.cfg.HugePageSize; v++ {
@@ -219,12 +234,19 @@ func (m *HawkEye) promote(r uint64) {
 			m.tlb.Invalidate(tlbBase(v))
 		}
 	}
-	delete(m.resident, r)
+	m.resident.Delete(r)
 	m.evictUntilFits(m.cfg.HugePageSize)
 	m.ram.Access(unitHuge(r))
 	m.used += m.cfg.HugePageSize
-	m.promoted[r] = true
+	m.promoted.Add(r)
 	m.promotions++
+}
+
+// AccessBatch implements Batcher.
+func (m *HawkEye) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		m.Access(v)
+	}
 }
 
 // Costs implements Algorithm.

@@ -45,10 +45,10 @@ func TestHawkEyePromotesHottestFirst(t *testing.T) {
 	if m.Promotions() != 1 {
 		t.Fatalf("promotions = %d, want 1 (budget)", m.Promotions())
 	}
-	if !m.promoted[0] {
+	if !m.promoted.Contains(0) {
 		t.Fatal("hottest region 0 not the one promoted")
 	}
-	if m.promoted[1] {
+	if m.promoted.Contains(1) {
 		t.Fatal("cold region 1 promoted over hot region 0")
 	}
 }
@@ -103,15 +103,12 @@ func TestHawkEyeRAMAccounting(t *testing.T) {
 			t.Fatalf("step %d: used %d > RAM 16", i, m.used)
 		}
 	}
-	var recount uint64
-	for range m.promoted {
-		recount += 4
-	}
-	for _, c := range m.resident {
-		recount += c
+	recount := 4 * uint64(m.promoted.Len())
+	for r := uint64(0); r < 64; r++ {
+		recount += uint64(m.resident.At(r))
 	}
 	if recount != m.used {
-		t.Fatalf("used=%d, maps say %d", m.used, recount)
+		t.Fatalf("used=%d, tables say %d", m.used, recount)
 	}
 }
 

@@ -58,6 +58,7 @@ type HugePage struct {
 }
 
 var _ Algorithm = (*HugePage)(nil)
+var _ Batcher = (*HugePage)(nil)
 
 // NewHugePage builds the baseline simulator.
 func NewHugePage(cfg HugePageConfig) (*HugePage, error) {
@@ -92,6 +93,13 @@ func (m *HugePage) Access(v uint64) {
 	if _, ok := m.tlb.Lookup(u); !ok {
 		m.costs.TLBMisses++
 		m.tlb.Insert(u, tlb.Entry{Phys: u})
+	}
+}
+
+// AccessBatch implements Batcher.
+func (m *HugePage) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		m.Access(v)
 	}
 }
 

@@ -31,6 +31,7 @@ type Hybrid struct {
 }
 
 var _ Algorithm = (*Hybrid)(nil)
+var _ Batcher = (*Hybrid)(nil)
 
 // NewHybrid builds the hybrid algorithm.
 func NewHybrid(cfg HybridConfig) (*Hybrid, error) {
@@ -63,6 +64,13 @@ func (h *Hybrid) Access(v uint64) {
 	h.costs.IOs += (after.IOs - before.IOs) * h.g
 	h.costs.TLBMisses += after.TLBMisses - before.TLBMisses
 	h.costs.DecodingMisses += after.DecodingMisses - before.DecodingMisses
+}
+
+// AccessBatch implements Batcher.
+func (h *Hybrid) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		h.Access(v)
+	}
 }
 
 // Costs implements Algorithm.

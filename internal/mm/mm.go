@@ -68,10 +68,24 @@ type Algorithm interface {
 	Name() string
 }
 
+// Batcher is implemented by algorithms that can service a whole request
+// slice per call. The batch loop runs over the concrete receiver, so the
+// per-request interface dispatch of Run's generic loop disappears and the
+// access path inlines; every algorithm in this package implements it.
+type Batcher interface {
+	// AccessBatch services the requests in order, exactly as repeated
+	// Access calls would.
+	AccessBatch(vs []uint64)
+}
+
 // Run services every request in order and returns the final counters.
 func Run(a Algorithm, requests []uint64) Costs {
-	for _, v := range requests {
-		a.Access(v)
+	if b, ok := a.(Batcher); ok {
+		b.AccessBatch(requests)
+	} else {
+		for _, v := range requests {
+			a.Access(v)
+		}
 	}
 	return a.Costs()
 }
@@ -79,8 +93,12 @@ func Run(a Algorithm, requests []uint64) Costs {
 // RunWarm services warmup requests, resets counters, then services the
 // measured requests — the paper's two-phase methodology.
 func RunWarm(a Algorithm, warmup, measured []uint64) Costs {
-	for _, v := range warmup {
-		a.Access(v)
+	if b, ok := a.(Batcher); ok {
+		b.AccessBatch(warmup)
+	} else {
+		for _, v := range warmup {
+			a.Access(v)
+		}
 	}
 	a.ResetCosts()
 	return Run(a, measured)

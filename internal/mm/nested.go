@@ -64,6 +64,7 @@ type Nested struct {
 }
 
 var _ Algorithm = (*Nested)(nil)
+var _ Batcher = (*Nested)(nil)
 
 // NewNested builds the two-level baseline.
 func NewNested(cfg NestedConfig) (*Nested, error) {
@@ -115,6 +116,13 @@ func (n *Nested) Access(v uint64) {
 		n.hostReference(walkPage)
 	}
 	n.hostReference(v)
+}
+
+// AccessBatch implements Batcher.
+func (n *Nested) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		n.Access(v)
+	}
 }
 
 // Costs implements Algorithm.

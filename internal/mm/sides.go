@@ -21,6 +21,7 @@ type TLBOnly struct {
 }
 
 var _ Algorithm = (*TLBOnly)(nil)
+var _ Batcher = (*TLBOnly)(nil)
 
 // NewTLBOnly builds X with the given huge-page size, TLB entry count and
 // replacement policy.
@@ -43,6 +44,13 @@ func (x *TLBOnly) Access(v uint64) {
 	}
 }
 
+// AccessBatch implements Batcher.
+func (x *TLBOnly) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		x.Access(v)
+	}
+}
+
 // Costs implements Algorithm.
 func (x *TLBOnly) Costs() Costs { return x.costs }
 
@@ -62,6 +70,7 @@ type RAMOnly struct {
 }
 
 var _ Algorithm = (*RAMOnly)(nil)
+var _ Batcher = (*RAMOnly)(nil)
 
 // NewRAMOnly builds Y with the given page capacity and policy.
 func NewRAMOnly(capacity uint64, kind policy.Kind, seed uint64) (*RAMOnly, error) {
@@ -80,6 +89,13 @@ func (y *RAMOnly) Access(v uint64) {
 	y.costs.Accesses++
 	if hit, _ := y.cache.Access(v); !hit {
 		y.costs.IOs++
+	}
+}
+
+// AccessBatch implements Batcher.
+func (y *RAMOnly) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		y.Access(v)
 	}
 }
 

@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -51,10 +52,16 @@ func (c *SuperpageConfig) validate() error {
 type Superpage struct {
 	cfg SuperpageConfig
 	tlb *tlb.TLB
-	lru *policy.LRU // region ids, recency for preemption/eviction
+	lru *policy.DenseLRU // region ids, recency for preemption/eviction
 
-	regions map[uint64]*spRegion
-	used    uint64
+	regions   []spRegion    // flat by region number; present marks live entries
+	populated *dense.Bitset // absolute page numbers populated
+	used      uint64
+
+	// reservedFree is Σ (h − populated) over reserved, unpromoted regions:
+	// the pages preemption could reclaim right now. Maintaining it
+	// incrementally makes fits() O(1) instead of a scan of every region.
+	reservedFree uint64
 
 	costs       Costs
 	promotions  uint64
@@ -62,12 +69,14 @@ type Superpage struct {
 }
 
 type spRegion struct {
-	populated map[uint64]bool // page offsets populated
-	reserved  bool            // full frame held (vs downgraded)
-	promoted  bool
+	pop      uint32 // populated pages in this region
+	present  bool   // region is live (tracked in the LRU)
+	reserved bool   // full frame held (vs downgraded)
+	promoted bool
 }
 
 var _ Algorithm = (*Superpage)(nil)
+var _ Batcher = (*Superpage)(nil)
 
 // NewSuperpage builds the reservation-based baseline.
 func NewSuperpage(cfg SuperpageConfig) (*Superpage, error) {
@@ -84,9 +93,24 @@ func NewSuperpage(cfg SuperpageConfig) (*Superpage, error) {
 		// Recency tracking only: every region holds ≥ 1 page, so the
 		// region count never exceeds RAMPages and this LRU never
 		// self-evicts; page-granular capacity is enforced by makeRoom.
-		lru:     policy.NewLRU(int(cfg.RAMPages) + 1),
-		regions: make(map[uint64]*spRegion),
+		lru:       policy.NewDenseLRU(int(cfg.RAMPages)+1, 0),
+		populated: dense.NewBitset(0),
 	}, nil
+}
+
+// regionFor returns the (possibly zero-valued) flat entry for region r,
+// growing the table on demand.
+func (m *Superpage) regionFor(r uint64) *spRegion {
+	if r >= uint64(len(m.regions)) {
+		newLen := uint64(len(m.regions))*2 + 1
+		if newLen <= r {
+			newLen = r + 1
+		}
+		regs := make([]spRegion, newLen)
+		copy(regs, m.regions)
+		m.regions = regs
+	}
+	return &m.regions[r]
 }
 
 // charge returns the RAM pages a region currently holds.
@@ -94,7 +118,7 @@ func (m *Superpage) charge(reg *spRegion) uint64 {
 	if reg.reserved {
 		return m.cfg.HugePageSize
 	}
-	return uint64(len(reg.populated))
+	return uint64(reg.pop)
 }
 
 // makeRoom frees RAM until `need` more pages fit: first preempt the
@@ -105,16 +129,20 @@ func (m *Superpage) makeRoom(need uint64) {
 		return
 	}
 	// Pass 1: preempt reservations (cheapest — frees unpopulated pages
-	// without IO consequences).
-	keys := m.lru.Keys() // most→least recent
-	for i := len(keys) - 1; i >= 0 && m.used+need > m.cfg.RAMPages; i-- {
-		reg := m.regions[keys[i]]
-		if reg.reserved && !reg.promoted {
-			freed := m.cfg.HugePageSize - uint64(len(reg.populated))
-			reg.reserved = false
-			m.used -= freed
-			m.preemptions++
-		}
+	// without IO consequences), least recent first. Preemption mutates
+	// only region state, never the LRU, so the in-place scan is safe.
+	if m.reservedFree > 0 {
+		m.lru.ScanLRU(func(r uint64) bool {
+			reg := &m.regions[r]
+			if reg.reserved && !reg.promoted {
+				freed := m.cfg.HugePageSize - uint64(reg.pop)
+				reg.reserved = false
+				m.used -= freed
+				m.reservedFree -= freed
+				m.preemptions++
+			}
+			return m.used+need > m.cfg.RAMPages && m.reservedFree > 0
+		})
 	}
 	// Pass 2: evict whole regions, least recent first.
 	for m.used+need > m.cfg.RAMPages {
@@ -128,66 +156,78 @@ func (m *Superpage) makeRoom(need uint64) {
 
 // dropRegion releases region r entirely.
 func (m *Superpage) dropRegion(r uint64) {
-	reg := m.regions[r]
+	reg := &m.regions[r]
 	m.used -= m.charge(reg)
+	if reg.reserved && !reg.promoted {
+		m.reservedFree -= m.cfg.HugePageSize - uint64(reg.pop)
+	}
 	start := r * m.cfg.HugePageSize
 	if reg.promoted {
 		m.tlb.Invalidate(tlbHuge(r))
-	} else {
-		for off := range reg.populated {
-			m.tlb.Invalidate(tlbBase(start + off))
+	}
+	for o := uint64(0); o < m.cfg.HugePageSize; o++ {
+		if m.populated.Remove(start + o) && !reg.promoted {
+			m.tlb.Invalidate(tlbBase(start + o))
 		}
 	}
-	delete(m.regions, r)
+	*reg = spRegion{}
 }
 
 // Access implements Algorithm.
 func (m *Superpage) Access(v uint64) {
 	m.costs.Accesses++
 	r := v / m.cfg.HugePageSize
-	off := v % m.cfg.HugePageSize
 
-	reg, ok := m.regions[r]
-	if !ok {
+	reg := m.regionFor(r)
+	if !reg.present {
 		// First touch: try to reserve a full frame; if RAM is too tight
 		// even after preemption, fall back to a downgraded (page-grain)
 		// region. Reservation itself costs no IO beyond the demanded
-		// page — the frame is just claimed.
-		reg = &spRegion{populated: make(map[uint64]bool, 4)}
-		m.regions[r] = reg
+		// page — the frame is just claimed. r is not in the LRU yet, so
+		// makeRoom cannot evict it.
+		reg.present = true
 		if m.fits(m.cfg.HugePageSize) {
 			m.makeRoom(m.cfg.HugePageSize)
 			reg.reserved = true
 			m.used += m.cfg.HugePageSize
+			m.reservedFree += m.cfg.HugePageSize
 		} else {
 			m.makeRoom(1)
 			m.used++
 		}
-		reg.populated[off] = true
+		m.populated.Add(v)
+		reg.pop++
+		if reg.reserved {
+			m.reservedFree--
+		}
 		m.costs.IOs++
 		m.lru.Access(r)
 	} else {
 		m.lru.Access(r)
-		if !reg.populated[off] {
+		if !m.populated.Contains(v) {
 			// Populate one more page.
 			if !reg.reserved {
 				m.makeRoom(1)
 				// makeRoom may have evicted r itself in pathological
-				// tiny-RAM cases; re-install if so.
-				if _, still := m.regions[r]; !still {
-					m.regions[r] = reg
-					reg.populated = map[uint64]bool{}
+				// tiny-RAM cases; re-install if so (dropRegion cleared
+				// its state and its populated bits).
+				if !reg.present {
+					reg.present = true
 					m.lru.Access(r)
 				}
 				m.used++
 			}
-			reg.populated[off] = true
+			m.populated.Add(v)
+			reg.pop++
+			if reg.reserved {
+				m.reservedFree--
+			}
 			m.costs.IOs++
 		}
 	}
 
 	// Promotion: a fully populated reservation becomes a superpage.
-	if reg.reserved && !reg.promoted && uint64(len(reg.populated)) == m.cfg.HugePageSize {
+	if reg.reserved && !reg.promoted && uint64(reg.pop) == m.cfg.HugePageSize {
 		reg.promoted = true
 		m.promotions++
 		start := r * m.cfg.HugePageSize
@@ -210,14 +250,16 @@ func (m *Superpage) Access(v uint64) {
 
 // fits reports whether `pages` more pages could fit after preempting every
 // unpromoted reservation (i.e. whether reservation is worth attempting).
+// O(1): reservedFree tracks the preemptable total incrementally.
 func (m *Superpage) fits(pages uint64) bool {
-	reclaimable := uint64(0)
-	for _, reg := range m.regions {
-		if reg.reserved && !reg.promoted {
-			reclaimable += m.cfg.HugePageSize - uint64(len(reg.populated))
-		}
+	return m.used-m.reservedFree+pages <= m.cfg.RAMPages
+}
+
+// AccessBatch implements Batcher.
+func (m *Superpage) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		m.Access(v)
 	}
-	return m.used-reclaimable+pages <= m.cfg.RAMPages
 }
 
 // Costs implements Algorithm.

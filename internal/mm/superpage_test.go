@@ -99,10 +99,12 @@ func TestSuperpageRAMAccounting(t *testing.T) {
 			t.Fatalf("step %d: used %d > RAM 64", i, m.used)
 		}
 	}
-	// Recount from the region map.
+	// Recount from the flat region table.
 	var recount uint64
-	for _, reg := range m.regions {
-		recount += m.charge(reg)
+	for r := range m.regions {
+		if reg := &m.regions[r]; reg.present {
+			recount += m.charge(reg)
+		}
 	}
 	if recount != m.used {
 		t.Fatalf("used=%d, regions say %d", m.used, recount)

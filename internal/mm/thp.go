@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -56,11 +57,13 @@ func (c *THPConfig) validate() error {
 type THP struct {
 	cfg THPConfig
 	tlb *tlb.TLB
-	ram *policy.LRU // keys are unit ids (see unitBase/unitHuge)
+	ram *policy.DenseLRU // keys are unit ids (see unitBase/unitHuge)
 
-	resident map[uint64]uint64 // region -> count of resident base pages (unpromoted regions only)
-	promoted map[uint64]bool   // region -> promoted?
-	used     uint64            // resident base pages across all units
+	// Per-region state is flat, indexed by region number. resident uses
+	// sentinel 0: a present region always has ≥ 1 resident base page.
+	resident *dense.Table[uint32] // region -> resident base pages (unpromoted regions only)
+	promoted *dense.Bitset        // regions currently promoted
+	used     uint64               // resident base pages across all units
 
 	costs      Costs
 	promotions uint64
@@ -68,6 +71,7 @@ type THP struct {
 }
 
 var _ Algorithm = (*THP)(nil)
+var _ Batcher = (*THP)(nil)
 
 // Unit-id tagging: base pages and promoted regions share the LRU keyspace.
 func unitBase(v uint64) uint64    { return v << 1 }
@@ -92,9 +96,9 @@ func NewTHP(cfg THPConfig) (*THP, error) {
 	return &THP{
 		cfg:      cfg,
 		tlb:      t,
-		ram:      policy.NewLRU(int(cfg.RAMPages)), // capacity checked in pages manually
-		resident: make(map[uint64]uint64),
-		promoted: make(map[uint64]bool),
+		ram:      policy.NewDenseLRU(int(cfg.RAMPages), 0), // capacity checked in pages manually
+		resident: dense.NewTable[uint32](0, 0),
+		promoted: dense.NewBitset(0),
 	}, nil
 }
 
@@ -122,16 +126,16 @@ func (m *THP) dropUnit(id uint64) {
 	m.used -= m.pagesOf(id)
 	if isHugeUnit(id) {
 		r := unitRegion(id)
-		delete(m.promoted, r)
+		m.promoted.Remove(r)
 		m.demotions++
 		m.tlb.Invalidate(tlbHuge(r))
 	} else {
 		v := unitRegion(id) // same shift
 		r := v / m.cfg.HugePageSize
-		if m.resident[r] <= 1 {
-			delete(m.resident, r)
+		if c := m.resident.At(r); c <= 1 {
+			m.resident.Delete(r)
 		} else {
-			m.resident[r]--
+			m.resident.Set(r, c-1)
 		}
 		m.tlb.Invalidate(tlbBase(v))
 	}
@@ -143,7 +147,7 @@ func (m *THP) Access(v uint64) {
 	r := v / m.cfg.HugePageSize
 
 	var tlbKey uint64
-	if m.promoted[r] {
+	if m.promoted.Contains(r) {
 		// Promoted region: touch the huge unit.
 		m.ram.Access(unitHuge(r)) // always a hit; refreshes recency
 		tlbKey = tlbHuge(r)
@@ -155,9 +159,10 @@ func (m *THP) Access(v uint64) {
 			m.evictUntilFits(1)
 			m.ram.Access(id)
 			m.used++
-			m.resident[r]++
+			count := m.resident.At(r) + 1
+			m.resident.Set(r, count)
 			// Promotion check.
-			if int(m.resident[r]) >= m.cfg.PromoteThreshold {
+			if int(count) >= m.cfg.PromoteThreshold {
 				m.promote(r)
 				tlbKey = tlbHuge(r)
 			} else {
@@ -179,7 +184,7 @@ func (m *THP) Access(v uint64) {
 // fetch its missing base pages (IO amplification), retire the base units,
 // and install the huge unit.
 func (m *THP) promote(r uint64) {
-	have := m.resident[r]
+	have := uint64(m.resident.At(r))
 	missing := m.cfg.HugePageSize - have
 	m.costs.IOs += missing
 
@@ -193,14 +198,21 @@ func (m *THP) promote(r uint64) {
 			m.tlb.Invalidate(tlbBase(v))
 		}
 	}
-	delete(m.resident, r)
+	m.resident.Delete(r)
 
 	// Make room for the full huge page and install it.
 	m.evictUntilFits(m.cfg.HugePageSize)
 	m.ram.Access(unitHuge(r))
 	m.used += m.cfg.HugePageSize
-	m.promoted[r] = true
+	m.promoted.Add(r)
 	m.promotions++
+}
+
+// AccessBatch implements Batcher.
+func (m *THP) AccessBatch(vs []uint64) {
+	for _, v := range vs {
+		m.Access(v)
+	}
 }
 
 // Costs implements Algorithm.
@@ -224,4 +236,4 @@ func (m *THP) Promotions() uint64 { return m.promotions }
 func (m *THP) Demotions() uint64 { return m.demotions }
 
 // PromotedRegions reports the current number of promoted regions.
-func (m *THP) PromotedRegions() int { return len(m.promoted) }
+func (m *THP) PromotedRegions() int { return m.promoted.Len() }

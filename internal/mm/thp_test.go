@@ -152,16 +152,13 @@ func TestTHPRAMAccounting(t *testing.T) {
 		}
 	}
 	// Bookkeeping cross-check: recount pages from the promoted/resident
-	// maps.
-	var recount uint64
-	for range m.promoted {
-		recount += 4
-	}
-	for _, c := range m.resident {
-		recount += c
+	// tables (256 pages / h=4 → regions < 64).
+	recount := 4 * uint64(m.promoted.Len())
+	for r := uint64(0); r < 64; r++ {
+		recount += uint64(m.resident.At(r))
 	}
 	if recount != m.used {
-		t.Fatalf("used=%d but maps say %d", m.used, recount)
+		t.Fatalf("used=%d but tables say %d", m.used, recount)
 	}
 }
 

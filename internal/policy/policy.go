@@ -72,7 +72,9 @@ func New(kind Kind, capacity int, seed uint64) (Policy, error) {
 	}
 	switch kind {
 	case LRUKind:
-		return NewLRU(capacity), nil
+		// DenseLRU: identical eviction order to LRU (differentially
+		// tested) on flat arrays — the hot default gets the fast path.
+		return NewDenseLRU(capacity, 0), nil
 	case FIFOKind:
 		return NewFIFO(capacity), nil
 	case ClockKind:

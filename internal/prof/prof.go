@@ -1,0 +1,75 @@
+// Package prof wires runtime/pprof CPU and heap profiling into the
+// command-line tools. Both cmd/atsim and cmd/figures expose the same two
+// flags; the resulting profiles feed `go tool pprof` when hunting for
+// hot-path regressions in the simulator.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the destinations selected on the command line.
+type Flags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on the given FlagSet (the
+// default command-line set when fs is nil).
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap (alloc) profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse.
+func (f *Flags) Start() error {
+	if *f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. Safe to call
+// when neither flag was set; call once on every exit path that should
+// produce profiles (defer works, but note os.Exit skips defers).
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		f.cpuFile = nil
+	}
+	if *f.mem != "" {
+		file, err := os.Create(*f.mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer file.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	return nil
+}

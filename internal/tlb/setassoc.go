@@ -70,6 +70,18 @@ func (s *SetAssociative) Lookup(key uint64) (Entry, bool) {
 	return e, ok
 }
 
+// LookupHit is Lookup without the entry copy, for hot paths that only
+// steer ε-costs.
+func (s *SetAssociative) LookupHit(key uint64) bool {
+	ok := s.subs[s.setOf(key)].LookupHit(key)
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return ok
+}
+
 // Insert caches key in its set, evicting within the set per the policy.
 func (s *SetAssociative) Insert(key uint64, e Entry) (victim uint64, evicted bool) {
 	return s.subs[s.setOf(key)].Insert(key, e)

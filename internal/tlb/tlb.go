@@ -26,10 +26,23 @@ type Entry struct {
 }
 
 // TLB is a fixed-capacity translation cache.
+//
+// For the default LRU replacement policy the TLB runs on a flat slot
+// array: recency is an intrusive doubly-linked list over slot indices
+// (policy.DenseLRU) and values live in a parallel ℓ-sized Entry array
+// indexed by slot, so a steady-state access touches no hash table and
+// performs no allocation. Other policy kinds use the generic map-backed
+// path.
 type TLB struct {
 	entries int
-	policy  policy.Policy
-	values  map[uint64]Entry
+
+	// Flat path (LRU kind only).
+	flat  *policy.DenseLRU
+	fvals []Entry // slot-indexed values, parallel to flat's slots
+
+	// Generic path (every other policy kind).
+	policy policy.Policy
+	values map[uint64]Entry
 
 	hits   uint64
 	misses uint64
@@ -40,6 +53,13 @@ type TLB struct {
 func New(entries int, kind policy.Kind, seed uint64) (*TLB, error) {
 	if entries <= 0 {
 		return nil, fmt.Errorf("tlb: entries must be positive, got %d", entries)
+	}
+	if kind == policy.LRUKind {
+		return &TLB{
+			entries: entries,
+			flat:    policy.NewDenseLRU(entries, 0),
+			fvals:   make([]Entry, entries),
+		}, nil
 	}
 	pol, err := policy.New(kind, entries, seed)
 	if err != nil {
@@ -55,6 +75,16 @@ func New(entries int, kind policy.Kind, seed uint64) (*TLB, error) {
 // Lookup checks whether huge page u is cached, updating recency state and
 // hit/miss counters. On a hit it returns the cached entry.
 func (t *TLB) Lookup(u uint64) (Entry, bool) {
+	if t.flat != nil {
+		s := t.flat.SlotOf(u)
+		if s < 0 {
+			t.misses++
+			return Entry{}, false
+		}
+		t.flat.Access(u) // refresh recency
+		t.hits++
+		return t.fvals[s], true
+	}
 	if !t.policy.Contains(u) {
 		t.misses++
 		return Entry{}, false
@@ -64,10 +94,40 @@ func (t *TLB) Lookup(u uint64) (Entry, bool) {
 	return t.values[u], true
 }
 
+// LookupHit reports whether huge page u is cached, with the same recency
+// and counter side effects as Lookup but without copying the entry out —
+// the variant callers that only steer ε-costs want on the hot path.
+func (t *TLB) LookupHit(u uint64) bool {
+	if t.flat != nil {
+		if t.flat.SlotOf(u) < 0 {
+			t.misses++
+			return false
+		}
+		t.flat.Access(u)
+		t.hits++
+		return true
+	}
+	if !t.policy.Contains(u) {
+		t.misses++
+		return false
+	}
+	t.policy.Access(u)
+	t.hits++
+	return true
+}
+
 // Insert caches the entry for huge page u, evicting per the policy. It
 // returns the evicted huge page and true if an eviction occurred. Callers
 // insert after a miss; inserting an already-present key just refreshes it.
 func (t *TLB) Insert(u uint64, e Entry) (victim uint64, evicted bool) {
+	if t.flat != nil {
+		s, _, v := t.flat.AccessSlot(u)
+		t.fvals[s] = e // victim's slot is reused, overwriting its value
+		if v != policy.NoEviction {
+			return v, true
+		}
+		return 0, false
+	}
 	_, v := t.policy.Access(u)
 	if v != policy.NoEviction {
 		delete(t.values, v)
@@ -82,6 +142,14 @@ func (t *TLB) Insert(u uint64, e Entry) (victim uint64, evicted bool) {
 // this when the encoder's ψ(u) changes while u sits in the TLB (the paper
 // makes these updates free).
 func (t *TLB) Update(u uint64, e Entry) bool {
+	if t.flat != nil {
+		s := t.flat.SlotOf(u)
+		if s < 0 {
+			return false
+		}
+		t.fvals[s] = e
+		return true
+	}
 	if _, ok := t.values[u]; !ok {
 		return false
 	}
@@ -90,10 +158,22 @@ func (t *TLB) Update(u uint64, e Entry) bool {
 }
 
 // Contains reports whether u is cached, without side effects.
-func (t *TLB) Contains(u uint64) bool { return t.policy.Contains(u) }
+func (t *TLB) Contains(u uint64) bool {
+	if t.flat != nil {
+		return t.flat.Contains(u)
+	}
+	return t.policy.Contains(u)
+}
 
 // Value returns the cached entry without touching recency or counters.
 func (t *TLB) Value(u uint64) (Entry, bool) {
+	if t.flat != nil {
+		s := t.flat.SlotOf(u)
+		if s < 0 {
+			return Entry{}, false
+		}
+		return t.fvals[s], true
+	}
 	e, ok := t.values[u]
 	return e, ok
 }
@@ -101,6 +181,14 @@ func (t *TLB) Value(u uint64) (Entry, bool) {
 // Invalidate drops huge page u from the TLB (a TLB shootdown), reporting
 // whether it was present.
 func (t *TLB) Invalidate(u uint64) bool {
+	if t.flat != nil {
+		s := t.flat.RemoveSlot(u)
+		if s < 0 {
+			return false
+		}
+		t.fvals[s] = Entry{} // release the value's field array for GC
+		return true
+	}
 	if !t.policy.Remove(u) {
 		return false
 	}
@@ -115,7 +203,12 @@ func (t *TLB) Hits() uint64 { return t.hits }
 func (t *TLB) Misses() uint64 { return t.misses }
 
 // Len returns the number of cached entries.
-func (t *TLB) Len() int { return t.policy.Len() }
+func (t *TLB) Len() int {
+	if t.flat != nil {
+		return t.flat.Len()
+	}
+	return t.policy.Len()
+}
 
 // Cap returns the entry capacity ℓ.
 func (t *TLB) Cap() int { return t.entries }

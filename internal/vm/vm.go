@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"addrxlat/internal/dense"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/pagetable"
 )
@@ -43,8 +44,9 @@ type AddressSpace struct {
 	vPages  uint64
 	regions []region // sorted by start, non-overlapping
 	algo    mm.Algorithm
+	batch   mm.Batcher    // algo's batch path, nil if unimplemented
 	pt      *pagetable.Table
-	touched map[uint64]bool // pages that have been demand-mapped
+	touched *dense.Bitset // pages that have been demand-mapped
 
 	brk uint64 // bump allocator hint for Mmap placement
 }
@@ -60,11 +62,13 @@ func New(vPages uint64, algo mm.Algorithm) (*AddressSpace, error) {
 	if algo == nil {
 		return nil, fmt.Errorf("vm: nil algorithm")
 	}
+	batch, _ := algo.(mm.Batcher)
 	return &AddressSpace{
 		vPages:  vPages,
 		algo:    algo,
+		batch:   batch,
 		pt:      pagetable.New(vPages),
-		touched: make(map[uint64]bool),
+		touched: dense.NewBitset(0),
 	}, nil
 }
 
@@ -129,9 +133,8 @@ func (as *AddressSpace) Munmap(base uint64) error {
 		if r.start == start {
 			// Unmap faulted pages from the page table.
 			for p := r.start; p < r.end(); p++ {
-				if as.touched[p] {
+				if as.touched.Remove(p) {
 					as.pt.Unmap(p)
-					delete(as.touched, p)
 				}
 			}
 			as.regions = append(as.regions[:i], as.regions[i+1:]...)
@@ -156,23 +159,58 @@ func (as *AddressSpace) regionOf(p uint64) *region {
 // mapped, demand-faults the page into the page table on first touch, and
 // charges the access through the memory-management algorithm.
 func (as *AddressSpace) Access(addr uint64) error {
+	p, err := as.fault(addr)
+	if err != nil {
+		return err
+	}
+	as.algo.Access(p)
+	return nil
+}
+
+// fault validates addr and runs the page-table side of an access,
+// returning the page number to charge.
+func (as *AddressSpace) fault(addr uint64) (uint64, error) {
 	p := addr / PageBytes
 	if p >= as.vPages {
-		return &ErrSegfault{Addr: addr}
+		return 0, &ErrSegfault{Addr: addr}
 	}
 	if as.regionOf(p) == nil {
-		return &ErrSegfault{Addr: addr}
+		return 0, &ErrSegfault{Addr: addr}
 	}
-	if !as.touched[p] {
+	if as.touched.Add(p) {
 		// Demand fault: install the translation. The physical frame is
 		// owned by the algorithm's internal state; the page table stores
 		// the page's identity mapping for walk accounting.
 		as.pt.Map(p, p)
-		as.touched[p] = true
 	} else {
 		as.pt.Translate(p)
 	}
-	as.algo.Access(p)
+	return p, nil
+}
+
+// AccessBatch services a slice of byte addresses in order, charging the
+// algorithm through its batch path when it has one. On a segfault the
+// preceding accesses remain charged and the rest are abandoned, exactly
+// as the equivalent Access loop would behave.
+func (as *AddressSpace) AccessBatch(addrs []uint64) error {
+	if as.batch == nil {
+		for _, addr := range addrs {
+			if err := as.Access(addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pages := make([]uint64, 0, len(addrs))
+	for _, addr := range addrs {
+		p, err := as.fault(addr)
+		if err != nil {
+			as.batch.AccessBatch(pages)
+			return err
+		}
+		pages = append(pages, p)
+	}
+	as.batch.AccessBatch(pages)
 	return nil
 }
 
@@ -205,7 +243,7 @@ func (as *AddressSpace) MappedPages() uint64 {
 }
 
 // TouchedPages returns how many pages have been demand-faulted.
-func (as *AddressSpace) TouchedPages() uint64 { return uint64(len(as.touched)) }
+func (as *AddressSpace) TouchedPages() uint64 { return uint64(as.touched.Len()) }
 
 // Regions returns the number of mapped regions.
 func (as *AddressSpace) Regions() int { return len(as.regions) }

@@ -46,6 +46,21 @@ func (rp *Replay) Next() uint64 {
 	return v
 }
 
+// NextBatch implements Batcher: whole stretches of the recording are
+// copied out per call (with wraparound), instead of one virtual Next call
+// per request.
+func (rp *Replay) NextBatch(dst []uint64) {
+	for len(dst) > 0 {
+		n := copy(dst, rp.pages[rp.next:])
+		rp.next += n
+		if rp.next == len(rp.pages) {
+			rp.next = 0
+			rp.laps++
+		}
+		dst = dst[n:]
+	}
+}
+
 // Name implements Generator.
 func (rp *Replay) Name() string { return "replay" }
 

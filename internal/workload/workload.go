@@ -22,9 +22,22 @@ type Generator interface {
 	Name() string
 }
 
+// Batcher is implemented by generators that can fill a whole slice per
+// call (e.g. Replay, which copies straight out of its recording instead of
+// paying a virtual call per request).
+type Batcher interface {
+	// NextBatch fills dst with the next len(dst) requests, exactly as
+	// repeated Next calls would.
+	NextBatch(dst []uint64)
+}
+
 // Take materializes the next n requests from g.
 func Take(g Generator, n int) []uint64 {
 	out := make([]uint64, n)
+	if b, ok := g.(Batcher); ok {
+		b.NextBatch(out)
+		return out
+	}
 	for i := range out {
 		out[i] = g.Next()
 	}
