@@ -23,7 +23,9 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
-# concurrent packages, and a 1-iteration benchmark smoke so the benchmark
-# harness itself can't rot.
+# concurrent packages, a 1-iteration benchmark smoke so the benchmark
+# harness itself can't rot, and a 1-iteration streaming-pipeline run under
+# the race detector (Source producer goroutines + per-chunk fan-out).
 check: vet test race
 	$(GO) test -bench=BenchmarkAccess -benchtime=1x -run=^$$ .
+	$(GO) test -race -bench=BenchmarkFig1aBimodal -benchtime=1x -run=^$$ .

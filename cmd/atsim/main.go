@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"addrxlat/internal/core"
@@ -69,13 +70,24 @@ func main() {
 		err        error
 	)
 	if *replay != "" {
+		// Streaming replay: a stats pre-pass sizes the address space and
+		// clamps the windows, then the simulation decodes the recording
+		// chunk by chunk — replay memory is O(chunk), not O(trace).
 		*wl = "replay:" + *replay
-		warm, meas, vSpace, err = loadTrace(*replay, *warmN, *measN)
+		st, err := replayStats(*replay)
+		if err != nil {
+			fail(err)
+		}
+		vSpace = st.MaxPage + 1
+		if uint64(*warmN)+uint64(*measN) > st.Accesses {
+			*warmN = int(st.Accesses / 2)
+			*measN = int(st.Accesses) - *warmN
+		}
 	} else {
 		warm, meas, vSpace, err = buildWorkload(*wl, *vPages, *warmN, *measN, *hotPg, *hotFrac, *zipfS, *alpha, *gscale, *seed)
-	}
-	if err != nil {
-		fail(err)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if vSpace > 0 {
 		*vPages = vSpace
@@ -87,9 +99,18 @@ func main() {
 		fail(err)
 	}
 
-	costs := mm.RunWarm(alg, warm, meas)
+	var costs mm.Costs
+	var dumpStats string
+	if *replay != "" {
+		costs, dumpStats, err = runReplay(alg, *replay, *warmN, *measN, *dumpTo)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		costs = mm.RunWarm(alg, warm, meas)
+	}
 	fmt.Printf("algorithm: %s\n", alg.Name())
-	fmt.Printf("workload:  %s (%d warmup + %d measured accesses)\n", *wl, len(warm), len(meas))
+	fmt.Printf("workload:  %s (%d warmup + %d measured accesses)\n", *wl, *warmN, *measN)
 	fmt.Printf("machine:   V=%d pages, P=%d pages, TLB=%d entries, w=%d bits\n",
 		*vPages, *ramPg, *tlbEnt, *wBits)
 	fmt.Printf("costs:     %s\n", costs)
@@ -101,40 +122,127 @@ func main() {
 	}
 
 	if *dumpTo != "" {
-		f, err := os.Create(*dumpTo)
-		if err != nil {
-			fail(err)
+		if *replay == "" {
+			f, err := os.Create(*dumpTo)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := trace.Write(f, meas); err != nil {
+				fail(err)
+			}
+			dumpStats = trace.Summarize(meas).String()
 		}
-		defer f.Close()
-		if err := trace.Write(f, meas); err != nil {
-			fail(err)
-		}
-		fmt.Printf("trace:     wrote %d accesses to %s (%s)\n",
-			len(meas), *dumpTo, trace.Summarize(meas))
+		fmt.Printf("trace:     wrote %d accesses to %s (%s)\n", *measN, *dumpTo, dumpStats)
 	}
 }
 
-// loadTrace reads a recorded trace and splits it into warmup/measured
-// halves (bounded by the requested counts when the trace is long enough).
-func loadTrace(path string, warmN, measN int) (warm, meas []uint64, vSpace uint64, err error) {
+// replayStats summarizes a recorded trace in one streaming pass (O(chunk)
+// memory apart from the distinct-page set).
+func replayStats(path string) (trace.Stats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return trace.Stats{}, err
 	}
 	defer f.Close()
-	pages, err := trace.Read(f)
+	tr, err := trace.NewReader(f)
 	if err != nil {
-		return nil, nil, 0, err
+		return trace.Stats{}, err
 	}
-	if len(pages) == 0 {
-		return nil, nil, 0, fmt.Errorf("trace %s is empty", path)
+	if tr.Count() == 0 {
+		return trace.Stats{}, fmt.Errorf("trace %s is empty", path)
 	}
-	if len(pages) < warmN+measN {
-		warmN = len(pages) / 2
-		measN = len(pages) - warmN
+	var acc trace.Accumulator
+	buf := make([]uint64, workload.DefaultChunk)
+	for {
+		n, err := tr.Read(buf)
+		acc.Add(buf[:n])
+		if err == io.EOF {
+			return acc.Stats(), nil
+		}
+		if err != nil {
+			return trace.Stats{}, err
+		}
 	}
-	s := trace.Summarize(pages)
-	return pages[:warmN], pages[warmN : warmN+measN], s.MaxPage + 1, nil
+}
+
+// runReplay streams the recording through the algorithm: warmN accesses,
+// counter reset, measN accesses — decoding chunk by chunk. When dumpTo is
+// set, the measured window is simultaneously re-encoded to that file and
+// its stats string returned.
+func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string) (mm.Costs, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mm.Costs{}, "", err
+	}
+	defer f.Close()
+	sr, err := workload.NewStreamReplay(f, 0)
+	if err != nil {
+		return mm.Costs{}, "", err
+	}
+
+	buf := make([]uint64, workload.DefaultChunk)
+	window := func(n int, each func([]uint64) error) error {
+		for n > 0 {
+			c := len(buf)
+			if n < c {
+				c = n
+			}
+			sr.NextBatch(buf[:c])
+			if err := each(buf[:c]); err != nil {
+				return err
+			}
+			n -= c
+		}
+		return nil
+	}
+	serve := func(chunk []uint64) error {
+		if b, ok := alg.(mm.Batcher); ok {
+			b.AccessBatch(chunk)
+			return nil
+		}
+		for _, v := range chunk {
+			alg.Access(v)
+		}
+		return nil
+	}
+
+	if err := window(warmN, serve); err != nil {
+		return mm.Costs{}, "", err
+	}
+	alg.ResetCosts()
+
+	var dumpStats string
+	if dumpTo == "" {
+		if err := window(measN, serve); err != nil {
+			return mm.Costs{}, "", err
+		}
+	} else {
+		out, err := os.Create(dumpTo)
+		if err != nil {
+			return mm.Costs{}, "", err
+		}
+		defer out.Close()
+		tw, err := trace.NewWriter(out, uint64(measN))
+		if err != nil {
+			return mm.Costs{}, "", err
+		}
+		var acc trace.Accumulator
+		if err := window(measN, func(chunk []uint64) error {
+			if err := serve(chunk); err != nil {
+				return err
+			}
+			acc.Add(chunk)
+			return tw.Write(chunk)
+		}); err != nil {
+			return mm.Costs{}, "", err
+		}
+		if err := tw.Close(); err != nil {
+			return mm.Costs{}, "", err
+		}
+		dumpStats = acc.Stats().String()
+	}
+	return alg.Costs(), dumpStats, nil
 }
 
 func allocName(s string) string {

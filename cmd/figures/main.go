@@ -8,6 +8,13 @@
 //	figures -fig f1a             # one experiment
 //	figures -full                # paper-scale dimensions (slow)
 //	figures -format csv -out dir # write one CSV per experiment into dir
+//	figures -cache dir           # result-cache location (default results/cache)
+//	figures -no-cache            # resimulate every cell
+//
+// Finished simulation cells are cached under results/cache keyed by a
+// hash of (workload, algorithm, machine geometry, window lengths, scale,
+// seed); rerunning an experiment answers unchanged cells from the cache.
+// See EXPERIMENTS.md for the key scheme and when to wipe the cache.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"addrxlat/internal/experiments"
 	"addrxlat/internal/prof"
+	"addrxlat/internal/resultcache"
 )
 
 // profile is flushed on every exit path, including die().
@@ -26,11 +34,13 @@ var profile *prof.Flags
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment id: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|all")
-		full   = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
-		seed   = flag.Uint64("seed", 1, "root random seed")
-		format = flag.String("format", "tsv", "output format: tsv|csv")
-		outDir = flag.String("out", "", "write one file per experiment into this directory (default stdout)")
+		fig      = flag.String("fig", "all", "experiment id: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|all")
+		full     = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		format   = flag.String("format", "tsv", "output format: tsv|csv")
+		outDir   = flag.String("out", "", "write one file per experiment into this directory (default stdout)")
+		cacheDir = flag.String("cache", "results/cache", "content-addressed result cache directory (see EXPERIMENTS.md)")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache: simulate every cell")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -46,6 +56,13 @@ func main() {
 	scale := experiments.DownScale()
 	if *full {
 		scale = experiments.PaperScale()
+	}
+	if !*noCache && *cacheDir != "" {
+		cache, err := resultcache.Open(*cacheDir)
+		if err != nil {
+			die(1, "figures: %v\n", err)
+		}
+		scale.Cache = cache
 	}
 
 	type runner func() (*experiments.Table, error)

@@ -1,9 +1,16 @@
 // Command tracegen records workload page-access traces to the binary
 // trace format, for later replay with `atsim -replay` or external tools.
 //
+// Synthetic workloads stream straight through trace.Writer in fixed-size
+// chunks, so recording length is bounded by disk, not RAM — a billion
+// accesses needs the same constant memory as a thousand. The graph500
+// workload materializes its BFS trace first (the BFS itself needs the
+// graph in memory) and then writes it the same way.
+//
 // Examples:
 //
 //	tracegen -workload bimodal -n 1000000 -o bimodal.trc
+//	tracegen -workload bimodal -n 1000000000 -o big.trc   # constant memory
 //	tracegen -workload graph500 -gscale 18 -roots 4 -o bfs.trc
 package main
 
@@ -32,8 +39,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	if *n <= 0 {
+		fail(fmt.Errorf("-n must be positive"))
+	}
 
-	var pages []uint64
+	var stats trace.Stats
+	var written int
 	switch *wl {
 	case "graph500":
 		g, err := graph500.Generate(graph500.Config{Scale: *gscale, EdgeFactor: 16, Seed: *seed})
@@ -48,7 +59,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		pages = res.Trace
+		stats = trace.Summarize(res.Trace)
+		written = len(res.Trace)
+		if err := writeAll(*out, uint64(written), func(w *trace.Writer) error {
+			return w.Write(res.Trace)
+		}); err != nil {
+			fail(err)
+		}
 	default:
 		var gen workload.Generator
 		var err error
@@ -69,19 +86,56 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		pages = workload.Take(gen, *n)
+		var acc trace.Accumulator
+		written = *n
+		if err := writeAll(*out, uint64(*n), func(w *trace.Writer) error {
+			src, err := workload.NewSource(gen, workload.DefaultChunk, *n)
+			if err != nil {
+				return err
+			}
+			defer src.Stop()
+			for {
+				chunk, ok := src.Next()
+				if !ok {
+					return nil
+				}
+				if err := w.Write(chunk); err != nil {
+					return err
+				}
+				acc.Add(chunk)
+				src.Recycle(chunk)
+			}
+		}); err != nil {
+			fail(err)
+		}
+		stats = acc.Stats()
 	}
 
-	f, err := os.Create(*out)
+	fmt.Printf("wrote %d accesses to %s\n", written, *out)
+	fmt.Printf("stats: %s\n", stats)
+}
+
+// writeAll creates the output file, wraps it in a trace.Writer declaring
+// count accesses, runs fill, and closes both, reporting the first error.
+func writeAll(path string, count uint64, fill func(*trace.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	defer f.Close()
-	if err := trace.Write(f, pages); err != nil {
-		fail(err)
+	w, err := trace.NewWriter(f, count)
+	if err != nil {
+		f.Close()
+		return err
 	}
-	fmt.Printf("wrote %d accesses to %s\n", len(pages), *out)
-	fmt.Printf("stats: %s\n", trace.Summarize(pages))
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

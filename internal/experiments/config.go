@@ -19,6 +19,12 @@ type Scale struct {
 	// sweep sequential — results are identical either way, since every
 	// point is independently seeded and lands in an order-stable slot.
 	Workers int
+	// Cache, when non-nil, is consulted before simulating each cell of
+	// the streaming row drivers and updated afterwards, keyed by the
+	// canonical cell key (workload, algorithm, geometry, windows, scale,
+	// seed). Cached cells produce identical tables because the key covers
+	// everything that determines the counters.
+	Cache CostCache
 }
 
 // PaperScale runs the paper's exact dimensions (hours of CPU).

@@ -13,6 +13,11 @@ import (
 // algorithm and the Section 8 hybrid. The paper's thesis in one table:
 // even the best achievable fixed h pays for its coverage in IOs (or vice
 // versa), while decoupling takes both columns at once.
+//
+// Each workload runs as one streaming row (the fixed-h sweep plus the
+// decoupled algorithm share every generated chunk); the hybrid, whose
+// group size depends on the winning h, replays a second identically
+// seeded stream.
 func Crossover(s Scale, seed uint64) (*Table, error) {
 	t := &Table{
 		Name: "x1-crossover",
@@ -25,27 +30,67 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Sweep fixed h, tracking the cheapest.
+		zCfg := mm.DecoupledConfig{
+			Alloc: core.IcebergAlloc, RAMPages: machine.ramPages,
+			VirtualPages: machine.virtualPages, TLBEntries: machine.tlbEntries,
+			ValueBits: 64, Seed: seed,
+		}
+		z, err := mm.NewDecoupled(zCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Row 1: the fixed-h sweep and the decoupled algorithm share one
+		// stream; cells already in the cache stay out of the row.
 		hs := HugePageSweep()
 		costs := make([]mm.Costs, len(hs))
 		valid := make([]bool, len(hs))
-		if err := s.forEach(len(hs), func(i int) error {
-			if machine.ramPages < hs[i] {
-				return nil
+		var (
+			sims    []mm.Algorithm
+			simIdx  []int
+			simKeys []string
+		)
+		for i, h := range hs {
+			if machine.ramPages < h {
+				continue
+			}
+			valid[i] = true
+			key := machine.cellKey(s, seed, fmt.Sprintf("hugepage(h=%d,lru/lru)", h))
+			if c, ok := s.cacheGet(key); ok {
+				costs[i] = c
+				continue
 			}
 			alg, err := mm.NewHugePage(mm.HugePageConfig{
-				HugePageSize: hs[i], TLBEntries: machine.tlbEntries,
+				HugePageSize: h, TLBEntries: machine.tlbEntries,
 				RAMPages: machine.ramPages, Seed: seed,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			costs[i] = mm.RunWarm(alg, machine.warmup, machine.measured)
-			valid[i] = true
-			return nil
-		}); err != nil {
+			sims = append(sims, alg)
+			simIdx = append(simIdx, i)
+			simKeys = append(simKeys, key)
+		}
+		var zc mm.Costs
+		zKey := machine.cellKey(s, seed, z.Name())
+		zCached := false
+		if c, ok := s.cacheGet(zKey); ok {
+			zc, zCached = c, true
+		} else {
+			sims = append(sims, z)
+		}
+		if err := machine.runRow(s, sims); err != nil {
 			return nil, err
 		}
+		for j, key := range simKeys {
+			costs[simIdx[j]] = sims[j].Costs()
+			s.cachePut(key, costs[simIdx[j]])
+		}
+		if !zCached {
+			zc = z.Costs()
+			s.cachePut(zKey, zc)
+		}
+
 		bestIdx := -1
 		for i := range hs {
 			if !valid[i] {
@@ -59,17 +104,8 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 			return nil, fmt.Errorf("experiments: no valid fixed h for %s", w)
 		}
 
-		// The decoupled algorithm and the coverage-matched hybrid.
-		z, err := mm.NewDecoupled(mm.DecoupledConfig{
-			Alloc: core.IcebergAlloc, RAMPages: machine.ramPages,
-			VirtualPages: machine.virtualPages, TLBEntries: machine.tlbEntries,
-			ValueBits: 64, Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		zc := mm.RunWarm(z, machine.warmup, machine.measured)
-
+		// Row 2: the coverage-matched hybrid, on a fresh identically
+		// seeded stream (its group size depends on the winner above).
 		g := hs[bestIdx] / uint64(z.Params().HMax)
 		if g < 1 {
 			g = 1
@@ -77,19 +113,21 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 		var hyc mm.Costs
 		hyName := "hybrid(-)"
 		if machine.ramPages/g >= 1 && machine.virtualPages/g >= 1 {
-			hy, err := mm.NewHybrid(mm.HybridConfig{
-				Decoupled: mm.DecoupledConfig{
-					Alloc: core.IcebergAlloc, RAMPages: machine.ramPages,
-					VirtualPages: machine.virtualPages, TLBEntries: machine.tlbEntries,
-					ValueBits: 64, Seed: seed,
-				},
-				GroupSize: g,
-			})
+			hy, err := mm.NewHybrid(mm.HybridConfig{Decoupled: zCfg, GroupSize: g})
 			if err != nil {
 				return nil, err
 			}
-			hyc = mm.RunWarm(hy, machine.warmup, machine.measured)
 			hyName = hy.Name()
+			hyKey := machine.cellKey(s, seed, hyName)
+			if c, ok := s.cacheGet(hyKey); ok {
+				hyc = c
+			} else {
+				if err := machine.runRow(s, []mm.Algorithm{hy}); err != nil {
+					return nil, err
+				}
+				hyc = hy.Costs()
+				s.cachePut(hyKey, hyc)
+			}
 		}
 
 		bc := costs[bestIdx]

@@ -149,12 +149,11 @@ func Adaptive(s Scale, seed uint64) (*Table, error) {
 		return nil, err
 	}
 
+	// One streaming row: all seven simulators consume each generated
+	// chunk in place (the notes columns need the live objects, so these
+	// cells bypass the result cache).
 	algos := []mm.Algorithm{small, fixed, thp, sp, he, z, hy}
-	costs := make([]mm.Costs, len(algos))
-	if err := forEach(len(algos), func(i int) error {
-		costs[i] = mm.RunWarm(algos[i], machine.warmup, machine.measured)
-		return nil
-	}); err != nil {
+	if err := machine.runRow(s, algos); err != nil {
 		return nil, err
 	}
 
@@ -164,8 +163,8 @@ func Adaptive(s Scale, seed uint64) (*Table, error) {
 			"Section 7 adaptive baselines vs fixed-h and decoupling (bimodal, h=%d, ε=0.01)", h),
 		Columns: []string{"algo", "ios", "tlb_misses", "decode_misses", "total_cost", "notes"},
 	}
-	for i, a := range algos {
-		c := costs[i]
+	for _, a := range algos {
+		c := a.Costs()
 		notes := "-"
 		switch v := a.(type) {
 		case *mm.THP:
@@ -202,10 +201,10 @@ func Nested(s Scale, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	fc := mm.RunWarm(flat, machine.warmup, machine.measured)
-	t.AddRow(fmt.Sprintf("flat(tlb=%d)", 2*machine.tlbEntries), fc.TLBMisses, 0, fc.IOs)
-
-	for _, split := range []int{2, 4, 8} {
+	splits := []int{2, 4, 8}
+	nested := make([]*mm.Nested, len(splits))
+	sims := []mm.Algorithm{flat}
+	for i, split := range splits {
 		guestEntries := machine.tlbEntries * 2 * (split - 1) / split
 		hostEntries := machine.tlbEntries*2 - guestEntries
 		n, err := mm.NewNested(mm.NestedConfig{
@@ -216,7 +215,20 @@ func Nested(s Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := mm.RunWarm(n, machine.warmup, machine.measured)
+		nested[i] = n
+		sims = append(sims, n)
+	}
+	// One streaming row for the flat baseline and every split (the
+	// nested-walk-reference column needs the live objects, so no cache).
+	if err := machine.runRow(s, sims); err != nil {
+		return nil, err
+	}
+	fc := flat.Costs()
+	t.AddRow(fmt.Sprintf("flat(tlb=%d)", 2*machine.tlbEntries), fc.TLBMisses, 0, fc.IOs)
+	for i, n := range nested {
+		c := n.Costs()
+		guestEntries := machine.tlbEntries * 2 * (splits[i] - 1) / splits[i]
+		hostEntries := machine.tlbEntries*2 - guestEntries
 		t.AddRow(fmt.Sprintf("nested(guest=%d,host=%d)", guestEntries, hostEntries),
 			c.TLBMisses, n.NestedWalkRefs(), c.IOs)
 	}

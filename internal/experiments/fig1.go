@@ -19,16 +19,21 @@ const (
 	F1cGraph500  Fig1Workload = "f1c-graph500"
 )
 
-// fig1Machine captures one workload's machine dimensions after scaling.
+// fig1Machine captures one workload's machine dimensions after scaling,
+// plus a factory for its request stream. The stream is drawn warmup-first,
+// then measured; newGen returns a fresh generator positioned at the start,
+// so every row (and every differential check) replays the same sequence.
 type fig1Machine struct {
+	workload     Fig1Workload
 	ramPages     uint64
 	virtualPages uint64
 	tlbEntries   int
-	warmup       []uint64
-	measured     []uint64
+	warmupN      int
+	measuredN    int
+	newGen       func() (workload.Generator, error)
 }
 
-// buildFig1Machine constructs the workload's request streams and machine
+// buildFig1Machine constructs the workload's stream factory and machine
 // dimensions at the given scale and seed.
 func buildFig1Machine(w Fig1Workload, s Scale, seed uint64) (*fig1Machine, error) {
 	if err := s.validate(); err != nil {
@@ -39,33 +44,32 @@ func buildFig1Machine(w Fig1Workload, s Scale, seed uint64) (*fig1Machine, error
 		// 99.99% in a 1 GiB hot set, rest uniform over 64 GiB VA; 16 GiB
 		// RAM; 100 M warmup + 100 M measured.
 		m := &fig1Machine{
+			workload:     w,
 			ramPages:     s.pages(16 * paperGiB),
 			virtualPages: s.pages(64 * paperGiB),
 			tlbEntries:   s.entries(paperTLBEntries, 16),
 		}
-		gen, err := workload.NewBimodal(s.pages(1*paperGiB), m.virtualPages, 0.9999, seed)
-		if err != nil {
-			return nil, err
-		}
 		n := s.accesses(100_000_000)
-		m.warmup = workload.Take(gen, n)
-		m.measured = workload.Take(gen, n)
+		m.warmupN, m.measuredN = n, n
+		hot := s.pages(1 * paperGiB)
+		m.newGen = func() (workload.Generator, error) {
+			return workload.NewBimodal(hot, m.virtualPages, 0.9999, seed)
+		}
 		return m, nil
 
 	case F1bGraphWalk:
 		// Pareto(α=0.01) random walk over a 64 GiB VA; 32 GiB RAM.
 		m := &fig1Machine{
+			workload:     w,
 			ramPages:     s.pages(32 * paperGiB),
 			virtualPages: s.pages(64 * paperGiB),
 			tlbEntries:   s.entries(paperTLBEntries, 16),
 		}
-		gen, err := workload.NewGraphWalk(m.virtualPages, 0.01, seed)
-		if err != nil {
-			return nil, err
-		}
 		n := s.accesses(100_000_000)
-		m.warmup = workload.Take(gen, n)
-		m.measured = workload.Take(gen, n)
+		m.warmupN, m.measuredN = n, n
+		m.newGen = func() (workload.Generator, error) {
+			return workload.NewGraphWalk(m.virtualPages, 0.01, seed)
+		}
 		return m, nil
 
 	case F1cGraph500:
@@ -101,14 +105,20 @@ func buildFig1Machine(w Fig1Workload, s Scale, seed uint64) (*fig1Machine, error
 		// touched page count, not the full CSR footprint.
 		touched := trace.Summarize(tr).DistinctPages
 		m := &fig1Machine{
+			workload:     w,
 			virtualPages: res.Footprint.TotalPages,
 			ramPages:     touched * 520 / 525,
 			tlbEntries:   s.entries(paperTLBEntries, 16),
-			warmup:       tr[:half],
-			measured:     tr[half:],
+			warmupN:      half,
+			measuredN:    len(tr) - half,
 		}
 		if m.ramPages == 0 {
 			m.ramPages = 1
+		}
+		// The BFS trace is recorded once per machine; each row replays it
+		// from the start (warmupN + measuredN draws cover it exactly once).
+		m.newGen = func() (workload.Generator, error) {
+			return workload.NewReplay(tr)
 		}
 		return m, nil
 
@@ -121,23 +131,33 @@ func buildFig1Machine(w Fig1Workload, s Scale, seed uint64) (*fig1Machine, error
 // the huge-page size h, on the given workload. It matches the paper's
 // simulator settings: fully associative LRU TLB and LRU RAM, base page
 // 4 KiB, each fault moving h pages at cost h.
+//
+// The whole panel is one streaming row: every chunk of the request stream
+// is generated once and fanned out to all h-cells still missing from the
+// result cache.
 func Fig1(w Fig1Workload, s Scale, seed uint64) (*Table, error) {
 	machine, err := buildFig1Machine(w, s, seed)
 	if err != nil {
 		return nil, err
 	}
 	hs := HugePageSweep()
-	type point struct {
-		costs mm.Costs
-	}
-	points := make([]point, len(hs))
-	err = s.forEach(len(hs), func(i int) error {
-		h := hs[i]
+	costs := make([]mm.Costs, len(hs))
+	var (
+		sims    []mm.Algorithm
+		simIdx  []int
+		simKeys []string
+	)
+	for i, h := range hs {
 		if machine.ramPages < h {
 			// Degenerate at extreme scaling: RAM smaller than one huge
 			// page. Mark by max cost so the row is visibly saturated.
-			points[i].costs = mm.Costs{IOs: ^uint64(0)}
-			return nil
+			costs[i] = mm.Costs{IOs: ^uint64(0)}
+			continue
+		}
+		key := machine.cellKey(s, seed, fmt.Sprintf("hugepage(h=%d,lru/lru)", h))
+		if c, ok := s.cacheGet(key); ok {
+			costs[i] = c
+			continue
 		}
 		alg, err := mm.NewHugePage(mm.HugePageConfig{
 			HugePageSize: h,
@@ -146,24 +166,30 @@ func Fig1(w Fig1Workload, s Scale, seed uint64) (*Table, error) {
 			Seed:         seed,
 		})
 		if err != nil {
-			return fmt.Errorf("h=%d: %w", h, err)
+			return nil, fmt.Errorf("h=%d: %w", h, err)
 		}
-		points[i].costs = mm.RunWarm(alg, machine.warmup, machine.measured)
-		return nil
-	})
-	if err != nil {
+		sims = append(sims, alg)
+		simIdx = append(simIdx, i)
+		simKeys = append(simKeys, key)
+	}
+	if err := machine.runRow(s, sims); err != nil {
 		return nil, err
+	}
+	for j, a := range sims {
+		c := a.Costs()
+		costs[simIdx[j]] = c
+		s.cachePut(simKeys[j], c)
 	}
 
 	t := &Table{
 		Name: string(w),
 		Caption: fmt.Sprintf(
 			"IOs and TLB misses vs huge-page size (V=%d pages, RAM=%d pages, TLB=%d entries, %d measured accesses)",
-			machine.virtualPages, machine.ramPages, machine.tlbEntries, len(machine.measured)),
+			machine.virtualPages, machine.ramPages, machine.tlbEntries, machine.measuredN),
 		Columns: []string{"huge_page_size", "ios", "tlb_misses", "total_cost_eps0.01"},
 	}
 	for i, h := range hs {
-		c := points[i].costs
+		c := costs[i]
 		if c.IOs == ^uint64(0) {
 			t.AddRow(h, "saturated", "saturated", "saturated")
 			continue

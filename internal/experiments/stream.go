@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"addrxlat/internal/mm"
+	"addrxlat/internal/workload"
+)
+
+// streamChunk is the request-chunk granularity of the row drivers. One
+// chunk is generated once and fanned out to every simulator in the row, so
+// generation cost is paid per row instead of per cell and workload memory
+// stays O(chunk) regardless of the access count.
+const streamChunk = workload.DefaultChunk
+
+// CostCache stores finished per-cell simulation results keyed by the
+// canonical cell-key string (see fig1Machine.cellKey). Implementations
+// must be safe for concurrent use; cmd/figures plugs in the file-backed
+// resultcache. A nil cache (the zero Scale) disables caching entirely.
+type CostCache interface {
+	// Get returns the cached counters for key, if present.
+	Get(key string) (mm.Costs, bool)
+	// Put records the counters for key. Errors are the implementation's
+	// problem (a cache failure must never fail an experiment).
+	Put(key string, c mm.Costs)
+}
+
+// cacheGet consults the scale's cache, tolerating a nil cache.
+func (s Scale) cacheGet(key string) (mm.Costs, bool) {
+	if s.Cache == nil {
+		return mm.Costs{}, false
+	}
+	return s.Cache.Get(key)
+}
+
+// cachePut records a finished cell, tolerating a nil cache.
+func (s Scale) cachePut(key string, c mm.Costs) {
+	if s.Cache != nil {
+		s.Cache.Put(key, c)
+	}
+}
+
+// simEpoch versions the simulator implementations for cache keys: bump it
+// whenever any algorithm's cost output changes for the same configuration,
+// so stale cached rows cannot survive a semantics change.
+const simEpoch = 1
+
+// cellKey builds the canonical content key for one (machine, algorithm)
+// simulation cell. Everything that determines the cell's counters is in
+// the key: workload identity, machine geometry, window lengths, scale
+// divisors, seed, the algorithm's self-describing name, and the simulator
+// epoch. The key is hashed by the cache backend; here it stays readable.
+func (m *fig1Machine) cellKey(s Scale, seed uint64, alg string) string {
+	return fmt.Sprintf("cell|epoch=%d|w=%s|alg=%s|V=%d|P=%d|tlb=%d|warm=%d|meas=%d|space=%d|acc=%d|seed=%d",
+		simEpoch, m.workload, alg, m.virtualPages, m.ramPages, m.tlbEntries,
+		m.warmupN, m.measuredN, s.SpaceDiv, s.AccessDiv, seed)
+}
+
+// runRow drives every simulator in sims through the row's request stream:
+// warmup window, counter reset, measured window — mm.RunWarm's two-phase
+// methodology, but with each chunk generated once and fanned out to all
+// sims instead of materializing the windows per cell. Workers bounds the
+// concurrent (row, algorithm) tasks per chunk. Callers read the finished
+// counters back with sims[i].Costs().
+func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) error {
+	if len(sims) == 0 {
+		return nil
+	}
+	gen, err := m.newGen()
+	if err != nil {
+		return err
+	}
+	if err := streamWindow(s, gen, m.warmupN, sims); err != nil {
+		return err
+	}
+	for _, a := range sims {
+		a.ResetCosts()
+	}
+	return streamWindow(s, gen, m.measuredN, sims)
+}
+
+// streamWindow feeds the next n requests of gen to every sim, chunk by
+// chunk through a double-buffered Source, so generation overlaps the
+// previous chunk's simulation. Window boundaries get their own Source:
+// chunks never straddle the warmup/measured counter reset.
+func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm) error {
+	src, err := workload.NewSource(gen, streamChunk, n)
+	if err != nil {
+		return err
+	}
+	defer src.Stop()
+	for {
+		chunk, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if len(sims) == 1 {
+			accessAll(sims[0], chunk)
+		} else if err := s.forEach(len(sims), func(i int) error {
+			accessAll(sims[i], chunk)
+			return nil
+		}); err != nil {
+			return err
+		}
+		src.Recycle(chunk)
+	}
+}
+
+// accessAll services one chunk on one simulator, batched when possible.
+func accessAll(a mm.Algorithm, vs []uint64) {
+	if b, ok := a.(mm.Batcher); ok {
+		b.AccessBatch(vs)
+		return
+	}
+	for _, v := range vs {
+		a.Access(v)
+	}
+}
+
+// materialize builds the row's warmup and measured windows as slices, for
+// the consumers that genuinely need the whole sequence in memory (offline
+// OPT baselines, differential tests). The concatenation is exactly what
+// runRow streams, by Source's construction.
+func (m *fig1Machine) materialize() (warmup, measured []uint64, err error) {
+	gen, err := m.newGen()
+	if err != nil {
+		return nil, nil, err
+	}
+	return workload.Take(gen, m.warmupN), workload.Take(gen, m.measuredN), nil
+}

@@ -266,16 +266,15 @@ func Theorem4(s Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One streaming row for the five simulators; the offline OPT
+		// bounds below are the one consumer that genuinely needs the
+		// materialized windows.
 		algos := []mm.Algorithm{z, x, y, base1, baseH}
-		costs := make([]mm.Costs, len(algos))
-		if err := forEach(len(algos), func(i int) error {
-			costs[i] = mm.RunWarm(algos[i], machine.warmup, machine.measured)
-			return nil
-		}); err != nil {
+		if err := machine.runRow(s, algos); err != nil {
 			return nil, err
 		}
-		for i, a := range algos {
-			c := costs[i]
+		for _, a := range algos {
+			c := a.Costs()
 			failures := "-"
 			if d, ok := a.(*mm.Decoupled); ok {
 				failures = fmt.Sprintf("%d", d.Scheme().TotalFailures())
@@ -290,19 +289,23 @@ func Theorem4(s Scale, seed uint64) (*Table, error) {
 		// warmed-up state. We approximate the warm state by running OPT
 		// on warmup+measured and on warmup alone, reporting the
 		// difference (cold misses attributable to the measured window).
-		hugeReqs := make([]uint64, 0, len(machine.warmup)+len(machine.measured))
-		for _, v := range machine.warmup {
+		warmup, measured, err := machine.materialize()
+		if err != nil {
+			return nil, err
+		}
+		hugeReqs := make([]uint64, 0, len(warmup)+len(measured))
+		for _, v := range warmup {
 			hugeReqs = append(hugeReqs, v/hmax)
 		}
 		warmLen := len(hugeReqs)
-		for _, v := range machine.measured {
+		for _, v := range measured {
 			hugeReqs = append(hugeReqs, v/hmax)
 		}
 		optTLB := policy.OptMisses(hugeReqs, machine.tlbEntries) -
 			policy.OptMisses(hugeReqs[:warmLen], machine.tlbEntries)
-		baseReqs := append(append([]uint64{}, machine.warmup...), machine.measured...)
+		baseReqs := append(append([]uint64{}, warmup...), measured...)
 		optIO := policy.OptMisses(baseReqs, int(z.Params().MaxResident)) -
-			policy.OptMisses(machine.warmup, int(z.Params().MaxResident))
+			policy.OptMisses(warmup, int(z.Params().MaxResident))
 		t.AddRow(string(w), "tlb-opt(offline)", 0, optTLB, 0,
 			paperEpsilon*float64(optTLB), "-")
 		t.AddRow(string(w), "ram-opt(offline)", optIO, 0, 0, float64(optIO), "-")
@@ -381,12 +384,10 @@ func Hybrid(s Scale, seed uint64) (*Table, error) {
 			"(coverage = hmax·g pages per TLB entry), bimodal workload",
 		Columns: []string{"g", "coverage_pages", "ios", "tlb_misses", "decode_misses", "total_cost"},
 	}
-	type res struct {
-		coverage uint64
-		costs    mm.Costs
-	}
-	results := make([]res, len(groups))
-	err = forEach(len(groups), func(i int) error {
+	// One streaming row: the whole g-sweep shares each generated chunk.
+	hybrids := make([]*mm.Hybrid, len(groups))
+	sims := make([]mm.Algorithm, len(groups))
+	for i, g := range groups {
 		h, err := mm.NewHybrid(mm.HybridConfig{
 			Decoupled: mm.DecoupledConfig{
 				Alloc:        core.IcebergAlloc,
@@ -396,22 +397,22 @@ func Hybrid(s Scale, seed uint64) (*Table, error) {
 				ValueBits:    64,
 				Seed:         seed,
 			},
-			GroupSize: groups[i],
+			GroupSize: g,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		results[i].costs = mm.RunWarm(h, machine.warmup, machine.measured)
-		results[i].coverage = h.CoveragePages()
-		return nil
-	})
-	if err != nil {
+		hybrids[i] = h
+		sims[i] = h
+	}
+	if err := machine.runRow(s, sims); err != nil {
 		return nil, err
 	}
 	for i, g := range groups {
-		r := results[i]
-		t.AddRow(g, r.coverage, r.costs.IOs, r.costs.TLBMisses,
-			r.costs.DecodingMisses, r.costs.Total(paperEpsilon))
+		h := hybrids[i]
+		c := h.Costs()
+		t.AddRow(g, h.CoveragePages(), c.IOs, c.TLBMisses,
+			c.DecodingMisses, c.Total(paperEpsilon))
 	}
 	return t, nil
 }

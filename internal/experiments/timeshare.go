@@ -54,13 +54,14 @@ func TimeShare(s Scale, seed uint64) (*Table, error) {
 		return nil, err
 	}
 
+	// One streaming row: all three simulators share each generated chunk.
 	algos := []mm.Algorithm{h1, z, hy}
-	costs := make([]mm.Costs, len(algos))
-	if err := forEach(len(algos), func(i int) error {
-		costs[i] = mm.RunWarm(algos[i], machine.warmup, machine.measured)
-		return nil
-	}); err != nil {
+	if err := machine.runRow(s, algos); err != nil {
 		return nil, err
+	}
+	costs := make([]mm.Costs, len(algos))
+	for i, a := range algos {
+		costs[i] = a.Costs()
 	}
 
 	storages := []struct {

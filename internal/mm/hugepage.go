@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
@@ -21,6 +22,11 @@ type HugePageConfig struct {
 	RAMPolicy policy.Kind
 	// Seed feeds randomized policies.
 	Seed uint64
+
+	// disableMergedLRU forces the generic two-structure path even when
+	// both policies are LRU; tests use it to pin the merged recency-stack
+	// path against the composed one.
+	disableMergedLRU bool
 }
 
 func (c *HugePageConfig) validate() error {
@@ -50,10 +56,24 @@ func (c *HugePageConfig) validate() error {
 // one entry per huge page, RAM is managed at huge-page granularity, and
 // every page fault moves h pages at a cost of h IOs — page-fault
 // amplification made explicit.
+//
+// With the paper's LRU/LRU configuration both caches see the identical
+// huge-page reference stream, so by the LRU inclusion property they are
+// two zones of one recency order: a single policy.RecencyStack answers
+// both hit/miss questions per access, with bit-identical counters to the
+// two-structure composition (which remains as the path for other
+// replacement policies).
 type HugePage struct {
 	cfg   HugePageConfig
-	tlb   *tlb.TLB
-	ram   policy.Policy // cache of huge-page ids, capacity P/h
+	shift uint // log2(h): huge-page number u = v >> shift
+
+	// Merged fast path (LRU TLB + LRU RAM).
+	stack *policy.RecencyStack
+
+	// Generic path (any other policy combination).
+	tlb *tlb.TLB
+	ram policy.Policy // cache of huge-page ids, capacity P/h
+
 	costs Costs
 }
 
@@ -65,22 +85,40 @@ func NewHugePage(cfg HugePageConfig) (*HugePage, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	m := &HugePage{cfg: cfg, shift: uint(bits.TrailingZeros64(cfg.HugePageSize))}
+	frames := int(cfg.RAMPages / cfg.HugePageSize)
+	if cfg.TLBPolicy == policy.LRUKind && cfg.RAMPolicy == policy.LRUKind && !cfg.disableMergedLRU {
+		m.stack = policy.NewRecencyStack(cfg.TLBEntries, frames, 0)
+		return m, nil
+	}
 	t, err := tlb.New(cfg.TLBEntries, cfg.TLBPolicy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	frames := int(cfg.RAMPages / cfg.HugePageSize)
 	ram, err := policy.New(cfg.RAMPolicy, frames, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
-	return &HugePage{cfg: cfg, tlb: t, ram: ram}, nil
+	m.tlb = t
+	m.ram = ram
+	return m, nil
 }
 
 // Access implements Algorithm.
 func (m *HugePage) Access(v uint64) {
 	m.costs.Accesses++
-	u := v / m.cfg.HugePageSize
+	u := v >> m.shift
+
+	if m.stack != nil {
+		tlbHit, ramHit := m.stack.Access(u)
+		if !ramHit {
+			m.costs.IOs += m.cfg.HugePageSize
+		}
+		if !tlbHit {
+			m.costs.TLBMisses++
+		}
+		return
+	}
 
 	// RAM first: ensure the huge page containing v is resident. A fault
 	// moves all h constituent pages (cost h), possibly evicting another
@@ -98,6 +136,24 @@ func (m *HugePage) Access(v uint64) {
 
 // AccessBatch implements Batcher.
 func (m *HugePage) AccessBatch(vs []uint64) {
+	if st := m.stack; st != nil {
+		h := m.cfg.HugePageSize
+		shift := m.shift
+		var ios, tlbMisses uint64
+		for _, v := range vs {
+			tlbHit, ramHit := st.Access(v >> shift)
+			if !ramHit {
+				ios += h
+			}
+			if !tlbHit {
+				tlbMisses++
+			}
+		}
+		m.costs.Accesses += uint64(len(vs))
+		m.costs.IOs += ios
+		m.costs.TLBMisses += tlbMisses
+		return
+	}
 	for _, v := range vs {
 		m.Access(v)
 	}
@@ -109,7 +165,9 @@ func (m *HugePage) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *HugePage) ResetCosts() {
 	m.costs = Costs{}
-	m.tlb.ResetCounters()
+	if m.tlb != nil {
+		m.tlb.ResetCounters()
+	}
 }
 
 // Name implements Algorithm.
@@ -118,7 +176,17 @@ func (m *HugePage) Name() string {
 }
 
 // ResidentHugePages reports how many huge pages are in RAM.
-func (m *HugePage) ResidentHugePages() int { return m.ram.Len() }
+func (m *HugePage) ResidentHugePages() int {
+	if m.stack != nil {
+		return m.stack.Zone2Len()
+	}
+	return m.ram.Len()
+}
 
 // TLBLen reports the TLB occupancy.
-func (m *HugePage) TLBLen() int { return m.tlb.Len() }
+func (m *HugePage) TLBLen() int {
+	if m.stack != nil {
+		return m.stack.Zone1Len()
+	}
+	return m.tlb.Len()
+}

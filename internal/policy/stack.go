@@ -1,0 +1,189 @@
+package policy
+
+import (
+	"math"
+
+	"addrxlat/internal/dense"
+)
+
+// RecencyStack maintains one exact-LRU recency order over a key stream and
+// answers, in O(1) per access, whether the key currently ranks within the
+// zone1 / zone2 most recently used keys. By the LRU inclusion property a
+// "zone" of capacity c holds exactly the contents a standalone LRU cache of
+// capacity c would hold after the same stream, so two stacked LRU caches
+// fed identical requests — the huge-page simulator's TLB (ℓ entries) and
+// RAM (P/h frames) — collapse into a single slot table and a single linked
+// list with two boundary markers, instead of two of each. The boundary of a
+// zone is its least recently used member; entering keys push it out (and
+// the marker one step toward the front), exactly as the standalone cache
+// would evict.
+//
+// Hit/miss answers are bit-identical to running two independent LRU caches;
+// TestRecencyStackMatchesTwoLRUs pins this. Keys must be densely numbered,
+// as in DenseLRU.
+type RecencyStack struct {
+	cap1, cap2 int // zone capacities
+	capMax     int // list capacity = max(cap1, cap2)
+
+	keys  []uint64
+	prev  []int32 // intrusive recency list over slots; index capMax is the sentinel
+	next  []int32
+	flags []uint8 // bit 0: member of zone1, bit 1: member of zone2
+	slot  *dense.Table[int32]
+
+	size     int
+	freeHead int32
+	b1, b2   int32 // boundary slots: each zone's least recent member (-1 while empty)
+}
+
+// NewRecencyStack builds a stack tracking two zone capacities (both > 0).
+// keyHint, if positive, pre-sizes the key index for keys [0, keyHint).
+func NewRecencyStack(cap1, cap2 int, keyHint uint64) *RecencyStack {
+	if cap1 <= 0 || cap2 <= 0 {
+		panic("policy: RecencyStack capacities must be positive")
+	}
+	capMax := cap1
+	if cap2 > capMax {
+		capMax = cap2
+	}
+	if capMax >= math.MaxInt32 {
+		panic("policy: RecencyStack capacity exceeds int32 slot space")
+	}
+	r := &RecencyStack{
+		cap1:   cap1,
+		cap2:   cap2,
+		capMax: capMax,
+		keys:   make([]uint64, capMax),
+		prev:   make([]int32, capMax+1),
+		next:   make([]int32, capMax+1),
+		flags:  make([]uint8, capMax),
+		slot:   dense.NewTable[int32](-1, int(keyHint)),
+		b1:     -1,
+		b2:     -1,
+	}
+	head := int32(capMax)
+	r.prev[head] = head
+	r.next[head] = head
+	for s := 0; s < capMax-1; s++ {
+		r.next[s] = int32(s + 1)
+	}
+	r.next[capMax-1] = -1
+	r.freeHead = 0
+	return r
+}
+
+// Access records a request for key and reports whether it was a hit in
+// zone1 and in zone2 — exactly the hits two standalone LRU caches of the
+// zone capacities would report. Steady state performs no allocation.
+func (r *RecencyStack) Access(key uint64) (hit1, hit2 bool) {
+	h := int32(r.capMax)
+	if s := r.slot.At(key); s >= 0 {
+		f := r.flags[s]
+		hit1 = f&1 != 0
+		hit2 = f&2 != 0
+		if r.next[h] == s {
+			return hit1, hit2 // already most recent; no rank changes
+		}
+		// Zone membership updates. A key outside a zone can only exist
+		// once the zone is full, so the boundary markers are valid here.
+		if !hit1 {
+			r.flags[r.b1] &^= 1
+			r.flags[s] |= 1
+			if r.cap1 == 1 {
+				r.b1 = s
+			} else {
+				r.b1 = r.prev[r.b1]
+			}
+		} else if s == r.b1 {
+			r.b1 = r.prev[s]
+		}
+		if !hit2 {
+			r.flags[r.b2] &^= 2
+			r.flags[s] |= 2
+			if r.cap2 == 1 {
+				r.b2 = s
+			} else {
+				r.b2 = r.prev[r.b2]
+			}
+		} else if s == r.b2 {
+			r.b2 = r.prev[s]
+		}
+		// Move to front.
+		r.next[r.prev[s]] = r.next[s]
+		r.prev[r.next[s]] = r.prev[s]
+		f2 := r.next[h]
+		r.prev[s] = h
+		r.next[s] = f2
+		r.prev[f2] = s
+		r.next[h] = s
+		return hit1, hit2
+	}
+
+	// Miss: evict the overall tail if the list is at capacity, then insert
+	// the new key at the front and let it join both zones.
+	var s int32
+	if r.size == r.capMax {
+		t := r.prev[h]
+		ft := r.flags[t]
+		if ft&1 != 0 { // tail was zone1's boundary (only when cap1 == capMax)
+			r.b1 = r.prev[t]
+		}
+		if ft&2 != 0 {
+			r.b2 = r.prev[t]
+		}
+		r.next[r.prev[t]] = r.next[t]
+		r.prev[r.next[t]] = r.prev[t]
+		r.slot.Delete(r.keys[t])
+		r.size--
+		s = t
+	} else {
+		s = r.freeHead
+		r.freeHead = r.next[s]
+	}
+	sizeBefore := r.size
+	r.keys[s] = key
+	r.flags[s] = 0
+	r.slot.Set(key, s)
+	f2 := r.next[h]
+	r.prev[s] = h
+	r.next[s] = f2
+	r.prev[f2] = s
+	r.next[h] = s
+	r.size++
+
+	if sizeBefore < r.cap1 { // zone1 not yet full: join without displacing
+		r.flags[s] |= 1
+		if sizeBefore == 0 {
+			r.b1 = s
+		}
+	} else { // full: the boundary member falls out, marker steps forward
+		r.flags[r.b1] &^= 1
+		r.flags[s] |= 1
+		if r.cap1 == 1 {
+			r.b1 = s
+		} else {
+			r.b1 = r.prev[r.b1]
+		}
+	}
+	if sizeBefore < r.cap2 {
+		r.flags[s] |= 2
+		if sizeBefore == 0 {
+			r.b2 = s
+		}
+	} else {
+		r.flags[r.b2] &^= 2
+		r.flags[s] |= 2
+		if r.cap2 == 1 {
+			r.b2 = s
+		} else {
+			r.b2 = r.prev[r.b2]
+		}
+	}
+	return false, false
+}
+
+// Zone1Len reports how many keys a standalone LRU of cap1 would hold.
+func (r *RecencyStack) Zone1Len() int { return min(r.size, r.cap1) }
+
+// Zone2Len reports how many keys a standalone LRU of cap2 would hold.
+func (r *RecencyStack) Zone2Len() int { return min(r.size, r.cap2) }

@@ -1,0 +1,107 @@
+// Package resultcache is a content-addressed on-disk cache for finished
+// simulation cells. The experiments' streaming row drivers look each
+// (workload, algorithm, geometry, windows, scale, seed) cell up before
+// simulating it; a hit skips the whole simulation and is guaranteed to
+// reproduce the same table because the canonical key covers everything
+// that determines the counters (see experiments.CostCache).
+//
+// Entries are one JSON file per cell under the cache directory, named by
+// the SHA-256 of the canonical key. The full key is stored inside the
+// entry and verified on load, so a (vanishingly unlikely) hash collision
+// or a hand-edited file degrades to a miss, never to wrong numbers.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"addrxlat/internal/mm"
+)
+
+// Cache is a directory of cached cells. The zero value is unusable; Open
+// it. Get/Put are safe for concurrent use (writes go through an atomic
+// rename), matching the experiments.CostCache contract.
+type Cache struct {
+	dir string
+}
+
+// Open creates the cache directory if needed and returns the cache.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk cell format. Key keeps the entry self-describing
+// (and guards against collisions); the counters mirror mm.Costs.
+type entry struct {
+	Key            string `json:"key"`
+	IOs            uint64 `json:"ios"`
+	TLBMisses      uint64 `json:"tlb_misses"`
+	DecodingMisses uint64 `json:"decoding_misses"`
+	Accesses       uint64 `json:"accesses"`
+}
+
+// path maps a canonical key to its content-addressed file.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get implements experiments.CostCache. Unreadable, unparsable, or
+// mismatched entries are misses.
+func (c *Cache) Get(key string) (mm.Costs, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return mm.Costs{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		return mm.Costs{}, false
+	}
+	return mm.Costs{
+		IOs:            e.IOs,
+		TLBMisses:      e.TLBMisses,
+		DecodingMisses: e.DecodingMisses,
+		Accesses:       e.Accesses,
+	}, true
+}
+
+// Put implements experiments.CostCache. The write is atomic (temp file +
+// rename) so concurrent sweeps and interrupted runs never leave a torn
+// entry; failures are silently dropped — a broken cache must not fail an
+// experiment.
+func (c *Cache) Put(key string, costs mm.Costs) {
+	data, err := json.Marshal(entry{
+		Key:            key,
+		IOs:            costs.IOs,
+		TLBMisses:      costs.TLBMisses,
+		DecodingMisses: costs.DecodingMisses,
+		Accesses:       costs.Accesses,
+	})
+	if err != nil {
+		return
+	}
+	dst := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,65 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"addrxlat/internal/experiments"
+	"addrxlat/internal/mm"
+)
+
+var _ experiments.CostCache = (*Cache)(nil)
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	want := mm.Costs{IOs: 3, TLBMisses: 5, DecodingMisses: 7, Accesses: 11}
+	c.Put("cell|a", want)
+	got, ok := c.Get("cell|a")
+	if !ok || got != want {
+		t.Fatalf("Get = %+v, %v; want %+v, true", got, ok, want)
+	}
+	if _, ok := c.Get("cell|b"); ok {
+		t.Fatal("hit for a key that was never Put")
+	}
+}
+
+// TestCollisionGuard verifies a file whose stored key disagrees with the
+// lookup key (hash collision, hand-edited entry) reads as a miss.
+func TestCollisionGuard(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("cell|a", mm.Costs{IOs: 1})
+	// Corrupt the stored key in place.
+	var path string
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected 1 entry, got %d (%v)", len(entries), err)
+	}
+	path = filepath.Join(c.Dir(), entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["key"] = "cell|other"
+	data, _ = json.Marshal(raw)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("cell|a"); ok {
+		t.Fatal("mismatched stored key was served as a hit")
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer encodes a trace incrementally: the declared access count is
+// written up front (the format is unchanged and fully compatible with
+// Read), then pages arrive in any batching the caller likes and are
+// delta+varint encoded on the fly. Memory is O(1) regardless of trace
+// length — cmd/tracegen records billion-access traces through a Writer
+// without materializing them.
+type Writer struct {
+	bw       *bufio.Writer
+	declared uint64
+	written  uint64
+	prev     uint64
+}
+
+// NewWriter writes the header for a trace of exactly count accesses and
+// returns a Writer for appending them. Close verifies the count.
+func NewWriter(w io.Writer, count uint64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], count)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing count: %w", err)
+	}
+	return &Writer{bw: bw, declared: count}, nil
+}
+
+// Write appends a batch of page accesses.
+func (w *Writer) Write(pages []uint64) error {
+	if w.written+uint64(len(pages)) > w.declared {
+		return fmt.Errorf("trace: writing %d accesses past the declared count %d", len(pages), w.declared)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	prev := w.prev
+	for _, p := range pages {
+		n := binary.PutVarint(buf[:], int64(p)-int64(prev))
+		if _, err := w.bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: writing delta: %w", err)
+		}
+		prev = p
+	}
+	w.prev = prev
+	w.written += uint64(len(pages))
+	return nil
+}
+
+// Close flushes buffered output and verifies that exactly the declared
+// number of accesses was written. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.written != w.declared {
+		return fmt.Errorf("trace: wrote %d accesses, declared %d", w.written, w.declared)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a trace incrementally: the header is parsed up front and
+// deltas are decoded chunk by chunk as the caller asks for them, so
+// replaying a recording needs O(chunk) memory instead of O(trace) — the
+// regime trace-driven translation studies replay multi-billion-access
+// recordings in.
+type Reader struct {
+	br    *bufio.Reader
+	count uint64
+	read  uint64
+	prev  uint64
+}
+
+// NewReader parses the trace header from r and returns a Reader positioned
+// at the first access.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	return &Reader{br: br, count: binary.LittleEndian.Uint64(hdr[:])}, nil
+}
+
+// Count returns the access count the header declares. Untrusted input can
+// declare any count; Reader never allocates proportionally to it.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Remaining returns how many accesses are still undecoded.
+func (r *Reader) Remaining() uint64 { return r.count - r.read }
+
+// Read decodes up to len(dst) accesses into dst, returning how many were
+// decoded. At the end of the trace it returns 0, io.EOF. A trace shorter
+// than its declared count yields io.ErrUnexpectedEOF.
+func (r *Reader) Read(dst []uint64) (int, error) {
+	if r.read == r.count {
+		return 0, io.EOF
+	}
+	n := uint64(len(dst))
+	if rem := r.count - r.read; rem < n {
+		n = rem
+	}
+	prev := r.prev
+	for i := uint64(0); i < n; i++ {
+		delta, err := binary.ReadVarint(r.br)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return int(i), fmt.Errorf("trace: reading delta %d/%d: %w", r.read+i, r.count, err)
+		}
+		prev = uint64(int64(prev) + delta)
+		dst[i] = prev
+	}
+	r.prev = prev
+	r.read += n
+	return int(n), nil
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip pins the incremental Writer/Reader pair
+// against the one-shot Write/Read: identical bytes out, identical pages
+// back, across batch shapes.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	pages := make([]uint64, 10000)
+	v := uint64(1 << 20)
+	for i := range pages {
+		v = v*6364136223846793005 + 1442695040888963407
+		if i%3 == 0 {
+			pages[i] = pages[max(i-1, 0)] + 1 // sequential runs
+		} else {
+			pages[i] = v % (1 << 30)
+		}
+	}
+
+	var oneShot bytes.Buffer
+	if err := Write(&oneShot, pages); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	w, err := NewWriter(&streamed, uint64(len(pages)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pages); {
+		n := 1 + (i*7)%613 // uneven batches
+		if i+n > len(pages) {
+			n = len(pages) - i
+		}
+		if err := w.Write(pages[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneShot.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed Writer bytes differ from one-shot Write")
+	}
+
+	r, err := NewReader(bytes.NewReader(streamed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != uint64(len(pages)) {
+		t.Fatalf("Count = %d, want %d", r.Count(), len(pages))
+	}
+	got := make([]uint64, 0, len(pages))
+	chunk := make([]uint64, 777)
+	for {
+		n, err := r.Read(chunk)
+		got = append(got, chunk[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(pages) {
+		t.Fatalf("decoded %d pages, want %d", len(got), len(pages))
+	}
+	for i := range pages {
+		if got[i] != pages[i] {
+			t.Fatalf("page %d = %d, want %d", i, got[i], pages[i])
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after full decode", r.Remaining())
+	}
+}
+
+// TestWriterCountMismatch verifies Close rejects under- and Write rejects
+// over-delivery against the declared count.
+func TestWriterCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write([]uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted 2 of 3 declared accesses")
+	}
+	if err := w.Write([]uint64{3, 4}); err == nil {
+		t.Fatal("Write accepted overflow past the declared count")
+	}
+}
+
+// TestReadCorruptHeaderAllocation is the regression test for the header
+// preallocation: a header declaring 2^32 accesses followed by no data must
+// fail with a bounded allocation, not attempt a 32 GiB make. The test
+// fails by OOM/timeout if the cap regresses.
+func TestReadCorruptHeaderAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], 1<<32)
+	buf.Write(hdr[:])
+	buf.Write([]byte{0x02, 0x02}) // two deltas, then truncation
+
+	if testing.AllocsPerRun(1, func() {
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Error("Read accepted a truncated trace with a lying header")
+		}
+	}) > 64 {
+		t.Error("Read of a corrupt header performed suspiciously many allocations")
+	}
+}
+
+// TestReadTruncated verifies a stream shorter than its declared count
+// errors out rather than returning short data.
+func TestReadTruncated(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, []uint64{10, 11, 12, 13}); err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Bytes()[:full.Len()-2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Fatal("Read accepted a truncated trace")
+	}
+}
+
+// BenchmarkTraceDecode measures streaming decode throughput in MB/s of
+// encoded input (SetBytes reports it), with O(chunk) allocation.
+func BenchmarkTraceDecode(b *testing.B) {
+	pages := make([]uint64, 1<<20)
+	v := uint64(0)
+	for i := range pages {
+		v = v*6364136223846793005 + 1442695040888963407
+		pages[i] = v % (1 << 24)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pages); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	chunk := make([]uint64, 1<<14)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			n, err := r.Read(chunk)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = n
+		}
+	}
+}
+
+// BenchmarkTraceDecodeMaterialized is the same decode through the one-shot
+// Read, for the allocation comparison in -benchmem output.
+func BenchmarkTraceDecodeMaterialized(b *testing.B) {
+	pages := make([]uint64, 1<<20)
+	v := uint64(0)
+	for i := range pages {
+		v = v*6364136223846793005 + 1442695040888963407
+		pages[i] = v % (1 << 24)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pages); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(enc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

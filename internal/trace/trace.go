@@ -14,8 +14,6 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -28,59 +26,50 @@ var ErrBadMagic = errors.New("trace: bad magic; not a trace file")
 
 // Write encodes the page sequence to w.
 func Write(w io.Writer, pages []uint64) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return fmt.Errorf("trace: writing magic: %w", err)
+	tw, err := NewWriter(w, uint64(len(pages)))
+	if err != nil {
+		return err
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(pages)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("trace: writing count: %w", err)
+	if err := tw.Write(pages); err != nil {
+		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	prev := uint64(0)
-	for _, p := range pages {
-		delta := int64(p) - int64(prev)
-		n := binary.PutVarint(buf[:], delta)
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return fmt.Errorf("trace: writing delta: %w", err)
-		}
-		prev = p
-	}
-	return bw.Flush()
+	return tw.Close()
 }
 
-// Read decodes a complete trace from r.
+// maxInitialAlloc caps how many pages Read preallocates from the header's
+// declared count. The header is untrusted input: a corrupt or hostile
+// count up to 2^33 used to drive a single up-front make of up to 64 GiB
+// before the first delta was decoded. Beyond the cap the slice grows as
+// deltas actually arrive, so a lying header costs at most one chunk.
+const maxInitialAlloc = 1 << 21 // pages; 16 MiB
+
+// Read decodes a complete trace from r into memory. For replay without
+// materialization use Reader (or workload.StreamReplay).
 func Read(r io.Reader) ([]uint64, error) {
-	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
 	}
-	if m != magic {
-		return nil, ErrBadMagic
-	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
-	}
-	count := binary.LittleEndian.Uint64(hdr[:])
 	const maxReasonable = 1 << 33
-	if count > maxReasonable {
-		return nil, fmt.Errorf("trace: implausible access count %d", count)
+	if tr.Count() > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible access count %d", tr.Count())
 	}
-	pages := make([]uint64, count)
-	prev := uint64(0)
-	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading delta %d/%d: %w", i, count, err)
+	capHint := tr.Count()
+	if capHint > maxInitialAlloc {
+		capHint = maxInitialAlloc
+	}
+	pages := make([]uint64, 0, capHint)
+	var chunk [8192]uint64
+	for {
+		n, err := tr.Read(chunk[:])
+		pages = append(pages, chunk[:n]...)
+		if err == io.EOF {
+			return pages, nil
 		}
-		cur := uint64(int64(prev) + delta)
-		pages[i] = cur
-		prev = cur
+		if err != nil {
+			return nil, err
+		}
 	}
-	return pages, nil
 }
 
 // Stats summarizes a trace.
@@ -101,37 +90,71 @@ type Stats struct {
 
 // Summarize computes Stats over a page sequence.
 func Summarize(pages []uint64) Stats {
-	var s Stats
-	s.Accesses = uint64(len(pages))
+	var acc Accumulator
+	acc.Add(pages)
+	return acc.Stats()
+}
+
+// Accumulator computes Stats incrementally, so streaming producers
+// (tracegen, the streaming replay path) can summarize traces they never
+// hold in memory. Memory is O(distinct pages), not O(accesses).
+type Accumulator struct {
+	accesses            uint64
+	distinct            map[uint64]struct{}
+	minPage, maxPage    uint64
+	sequential, repeats uint64
+	prev                uint64
+}
+
+// Add feeds the next batch of accesses, in stream order.
+func (a *Accumulator) Add(pages []uint64) {
 	if len(pages) == 0 {
-		return s
+		return
 	}
-	distinct := make(map[uint64]struct{}, 1024)
-	s.MinPage = pages[0]
-	s.MaxPage = pages[0]
-	var sequential, repeats uint64
+	if a.distinct == nil {
+		a.distinct = make(map[uint64]struct{}, 1024)
+	}
+	if a.accesses == 0 {
+		a.minPage = pages[0]
+		a.maxPage = pages[0]
+	}
+	prev := a.prev
+	first := a.accesses == 0
 	for i, p := range pages {
-		distinct[p] = struct{}{}
-		if p < s.MinPage {
-			s.MinPage = p
+		a.distinct[p] = struct{}{}
+		if p < a.minPage {
+			a.minPage = p
 		}
-		if p > s.MaxPage {
-			s.MaxPage = p
+		if p > a.maxPage {
+			a.maxPage = p
 		}
-		if i > 0 {
+		if !first || i > 0 {
 			switch p {
-			case pages[i-1] + 1:
-				sequential++
-			case pages[i-1]:
-				repeats++
+			case prev + 1:
+				a.sequential++
+			case prev:
+				a.repeats++
 			}
 		}
+		prev = p
 	}
-	s.DistinctPages = uint64(len(distinct))
-	s.Footprint = s.MaxPage - s.MinPage + 1
-	if len(pages) > 1 {
-		s.SequentialFrac = float64(sequential) / float64(len(pages)-1)
-		s.RepeatFrac = float64(repeats) / float64(len(pages)-1)
+	a.prev = prev
+	a.accesses += uint64(len(pages))
+}
+
+// Stats returns the summary of everything added so far.
+func (a *Accumulator) Stats() Stats {
+	s := Stats{Accesses: a.accesses}
+	if a.accesses == 0 {
+		return s
+	}
+	s.DistinctPages = uint64(len(a.distinct))
+	s.MinPage = a.minPage
+	s.MaxPage = a.maxPage
+	s.Footprint = a.maxPage - a.minPage + 1
+	if a.accesses > 1 {
+		s.SequentialFrac = float64(a.sequential) / float64(a.accesses-1)
+		s.RepeatFrac = float64(a.repeats) / float64(a.accesses-1)
 	}
 	return s
 }

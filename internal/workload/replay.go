@@ -64,6 +64,109 @@ func (rp *Replay) NextBatch(dst []uint64) {
 // Name implements Generator.
 func (rp *Replay) Name() string { return "replay" }
 
+// StreamReplay replays a recorded trace directly from its file (or any
+// io.ReadSeeker), decoding one chunk at a time through trace.Reader and
+// cycling by re-seeking to the start — so replaying a multi-billion-access
+// recording needs O(chunk) memory instead of O(trace), unlike Replay,
+// which materializes the recording up front.
+type StreamReplay struct {
+	src   io.ReadSeeker
+	tr    *trace.Reader
+	buf   []uint64
+	pos   int // next unread index in buf
+	fill  int // valid prefix of buf
+	count uint64
+	laps  int
+	err   error // first decode/seek error; panics surface it
+}
+
+var _ Generator = (*StreamReplay)(nil)
+var _ Batcher = (*StreamReplay)(nil)
+
+// NewStreamReplay opens a streaming replay over src with the given decode
+// chunk size in pages (0 means workload.DefaultChunk). Empty traces are
+// rejected, as in NewReplay.
+func NewStreamReplay(src io.ReadSeeker, chunkSize int) (*StreamReplay, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunk
+	}
+	tr, err := trace.NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Count() == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &StreamReplay{
+		src:   src,
+		tr:    tr,
+		buf:   make([]uint64, chunkSize),
+		count: tr.Count(),
+	}, nil
+}
+
+// refill decodes the next chunk, rewinding to the start of the recording
+// when it is exhausted.
+func (sr *StreamReplay) refill() {
+	for {
+		n, err := sr.tr.Read(sr.buf)
+		if n > 0 {
+			sr.pos, sr.fill = 0, n
+			return
+		}
+		if err != io.EOF {
+			sr.err = err
+			panic(fmt.Sprintf("workload: stream replay: %v", err))
+		}
+		if _, err := sr.src.Seek(0, io.SeekStart); err != nil {
+			sr.err = err
+			panic(fmt.Sprintf("workload: stream replay rewind: %v", err))
+		}
+		tr, err := trace.NewReader(sr.src)
+		if err != nil {
+			sr.err = err
+			panic(fmt.Sprintf("workload: stream replay rewind: %v", err))
+		}
+		sr.tr = tr
+		sr.laps++
+	}
+}
+
+// Next implements Generator.
+func (sr *StreamReplay) Next() uint64 {
+	if sr.pos == sr.fill {
+		sr.refill()
+	}
+	v := sr.buf[sr.pos]
+	sr.pos++
+	return v
+}
+
+// NextBatch implements Batcher.
+func (sr *StreamReplay) NextBatch(dst []uint64) {
+	for len(dst) > 0 {
+		if sr.pos == sr.fill {
+			sr.refill()
+		}
+		n := copy(dst, sr.buf[sr.pos:sr.fill])
+		sr.pos += n
+		dst = dst[n:]
+	}
+}
+
+// Name implements Generator.
+func (sr *StreamReplay) Name() string { return "stream-replay" }
+
+// Len returns the recording's length in accesses.
+func (sr *StreamReplay) Len() int { return int(sr.count) }
+
+// Laps reports how many times the recording has wrapped.
+func (sr *StreamReplay) Laps() int { return sr.laps }
+
+// Err returns the first decode or seek error, if any (also raised as a
+// panic at the point of failure, since Generator.Next cannot fail).
+func (sr *StreamReplay) Err() error { return sr.err }
+
 // Len returns the recording's length.
 func (rp *Replay) Len() int { return len(rp.pages) }
 
