@@ -18,9 +18,12 @@ vet:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/experiments/
 
-# bench runs the hot-path benchmarks with allocation reporting.
+# bench runs the hot-path benchmarks with allocation reporting, teeing the
+# output into a timestamped file under results/ so runs can be compared
+# with benchstat later.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	@mkdir -p results
+	$(GO) test -bench=. -benchmem -run=^$$ . | tee results/bench-$$(date -u +%Y%m%dT%H%M%SZ).txt
 
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke so the benchmark

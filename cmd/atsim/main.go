@@ -15,10 +15,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"addrxlat/internal/core"
 	"addrxlat/internal/graph500"
 	"addrxlat/internal/mm"
+	"addrxlat/internal/obs"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/prof"
 	"addrxlat/internal/trace"
@@ -52,6 +55,9 @@ func main() {
 		eps     = flag.Float64("eps", 0.01, "TLB-miss cost ε")
 		dumpTo  = flag.String("dump-trace", "", "also write the measured trace to this file")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating a workload")
+		sample  = flag.Uint64("sample", 0, "record a cost-over-time curve every N accesses (0 disables)")
+		curves  = flag.String("curves", "", "cost-curve output file (default <manifest dir>/atsim.curves.tsv)")
+		maniDir = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -99,16 +105,23 @@ func main() {
 		fail(err)
 	}
 
+	man := obs.NewManifest("atsim", os.Args[1:])
+	man.Config = obs.FlagConfig(nil)
+	man.Seeds = []uint64{*seed}
+	rec := obs.NewRecorder(*sample)
+
 	var costs mm.Costs
 	var dumpStats string
+	runStart := time.Now()
 	if *replay != "" {
-		costs, dumpStats, err = runReplay(alg, *replay, *warmN, *measN, *dumpTo)
+		costs, dumpStats, err = runReplay(alg, *replay, *warmN, *measN, *dumpTo, rec)
 		if err != nil {
 			fail(err)
 		}
 	} else {
-		costs = mm.RunWarm(alg, warm, meas)
+		costs = runGenerated(alg, warm, meas, rec)
 	}
+	runElapsed := time.Since(runStart)
 	fmt.Printf("algorithm: %s\n", alg.Name())
 	fmt.Printf("workload:  %s (%d warmup + %d measured accesses)\n", *wl, *warmN, *measN)
 	fmt.Printf("machine:   V=%d pages, P=%d pages, TLB=%d entries, w=%d bits\n",
@@ -135,6 +148,65 @@ func main() {
 		}
 		fmt.Printf("trace:     wrote %d accesses to %s (%s)\n", *measN, *dumpTo, dumpStats)
 	}
+
+	if rec.HasSeries() {
+		path := *curves
+		if path == "" && *maniDir != "" {
+			path = filepath.Join(*maniDir, "atsim.curves.tsv")
+		}
+		if path != "" {
+			if err := writeCurves(rec, path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("curves:    wrote cost-over-time series to %s\n", path)
+		}
+	}
+	if *maniDir != "" {
+		man.Experiments = []obs.RunRecord{{
+			ID: *algo, Table: *wl, Rows: 1,
+			WallSeconds: runElapsed.Seconds(), Phases: rec.Phases(),
+		}}
+		man.Finish()
+		// A manifest failure must not fail the simulation it describes.
+		if path, err := man.Write(*maniDir); err != nil {
+			fmt.Fprintf(os.Stderr, "atsim: manifest: %v\n", err)
+		} else {
+			fmt.Printf("manifest:  %s\n", path)
+		}
+	}
+}
+
+// runGenerated is the materialized-window run path: mm.RunWarm semantics
+// with per-phase samples and wall times fed to rec. Chunking through
+// RunPhaseSampled cannot change the counters (Batcher contract).
+func runGenerated(alg mm.Algorithm, warm, meas []uint64, rec *obs.Recorder) mm.Costs {
+	name := alg.Name()
+	start := time.Now()
+	mm.RunPhaseSampled(alg, warm, workload.DefaultChunk, rec, mm.PhaseWarmup)
+	rec.RowPhase("", mm.PhaseWarmup, name, len(warm), time.Since(start))
+	alg.ResetCosts()
+	start = time.Now()
+	c := mm.RunPhaseSampled(alg, meas, workload.DefaultChunk, rec, mm.PhaseMeasured)
+	rec.RowPhase("", mm.PhaseMeasured, name, len(meas), time.Since(start))
+	return c
+}
+
+// writeCurves renders the recorded cost-over-time series to path.
+func writeCurves(rec *obs.Recorder, path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // replayStats summarizes a recorded trace in one streaming pass (O(chunk)
@@ -169,8 +241,8 @@ func replayStats(path string) (trace.Stats, error) {
 // runReplay streams the recording through the algorithm: warmN accesses,
 // counter reset, measN accesses — decoding chunk by chunk. When dumpTo is
 // set, the measured window is simultaneously re-encoded to that file and
-// its stats string returned.
-func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string) (mm.Costs, string, error) {
+// its stats string returned. rec observes the run at chunk boundaries.
+func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string, rec *obs.Recorder) (mm.Costs, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return mm.Costs{}, "", err
@@ -196,21 +268,28 @@ func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string) (
 		}
 		return nil
 	}
+	name := alg.Name()
+	phase := mm.PhaseWarmup
 	serve := func(chunk []uint64) error {
 		if b, ok := alg.(mm.Batcher); ok {
 			b.AccessBatch(chunk)
-			return nil
+		} else {
+			for _, v := range chunk {
+				alg.Access(v)
+			}
 		}
-		for _, v := range chunk {
-			alg.Access(v)
-		}
+		rec.Sample(phase, name, alg.Costs())
 		return nil
 	}
 
+	start := time.Now()
 	if err := window(warmN, serve); err != nil {
 		return mm.Costs{}, "", err
 	}
+	rec.RowPhase("", mm.PhaseWarmup, name, warmN, time.Since(start))
 	alg.ResetCosts()
+	phase = mm.PhaseMeasured
+	start = time.Now()
 
 	var dumpStats string
 	if dumpTo == "" {
@@ -242,6 +321,7 @@ func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string) (
 		}
 		dumpStats = acc.Stats().String()
 	}
+	rec.RowPhase("", mm.PhaseMeasured, name, measN, time.Since(start))
 	return alg.Costs(), dumpStats, nil
 }
 

@@ -10,11 +10,21 @@
 //	figures -format csv -out dir # write one CSV per experiment into dir
 //	figures -cache dir           # result-cache location (default results/cache)
 //	figures -no-cache            # resimulate every cell
+//	figures -sample 1000000      # record cost-over-time curves every 1M accesses
+//	figures -http :8321          # serve live sweep counters at /debug/vars
 //
 // Finished simulation cells are cached under results/cache keyed by a
 // hash of (workload, algorithm, machine geometry, window lengths, scale,
 // seed); rerunning an experiment answers unchanged cells from the cache.
 // See EXPERIMENTS.md for the key scheme and when to wipe the cache.
+//
+// Every run writes a JSON manifest (flag configuration, seeds, go
+// version, git revision, per-experiment wall times and phase splits,
+// cache hit counts) into the -manifest directory, prints per-experiment
+// progress with ETA and cache hit rate on stderr, and — with -sample N —
+// emits one <experiment>.curves.tsv cost-over-time file per experiment
+// next to the figure outputs. See the Observability sections of README.md
+// and EXPERIMENTS.md.
 package main
 
 import (
@@ -23,8 +33,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"addrxlat/internal/experiments"
+	"addrxlat/internal/obs"
 	"addrxlat/internal/prof"
 	"addrxlat/internal/resultcache"
 )
@@ -41,6 +53,10 @@ func main() {
 		outDir   = flag.String("out", "", "write one file per experiment into this directory (default stdout)")
 		cacheDir = flag.String("cache", "results/cache", "content-addressed result cache directory (see EXPERIMENTS.md)")
 		noCache  = flag.Bool("no-cache", false, "disable the result cache: simulate every cell")
+		sample   = flag.Uint64("sample", 0, "record cost-over-time curves every N accesses per algorithm (0 disables); written as <experiment>.curves.tsv next to the outputs")
+		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
+		httpAddr = flag.String("http", "", "serve live sweep counters (expvar) on this address, e.g. :8321")
+		progress = flag.Bool("progress", true, "print live per-experiment progress with ETA to stderr")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -57,47 +73,51 @@ func main() {
 	if *full {
 		scale = experiments.PaperScale()
 	}
+	var cache *resultcache.Cache
 	if !*noCache && *cacheDir != "" {
-		cache, err := resultcache.Open(*cacheDir)
+		var err error
+		cache, err = resultcache.Open(*cacheDir)
 		if err != nil {
 			die(1, "figures: %v\n", err)
 		}
 		scale.Cache = cache
 	}
 
-	type runner func() (*experiments.Table, error)
+	type runner func(experiments.Scale) (*experiments.Table, error)
 	all := []struct {
 		id  string
 		run runner
 	}{
-		{"f1a", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1aBimodal, scale, *seed) }},
-		{"f1b", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1bGraphWalk, scale, *seed) }},
-		{"f1c", func() (*experiments.Table, error) { return experiments.Fig1(experiments.F1cGraph500, scale, *seed) }},
-		{"t1", func() (*experiments.Table, error) { return experiments.Theorem1(1<<18, 3) }},
-		{"t2", func() (*experiments.Table, error) {
+		{"f1a", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Fig1(experiments.F1aBimodal, s, *seed) }},
+		{"f1b", func(s experiments.Scale) (*experiments.Table, error) {
+			return experiments.Fig1(experiments.F1bGraphWalk, s, *seed)
+		}},
+		{"f1c", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Fig1(experiments.F1cGraph500, s, *seed) }},
+		{"t1", func(experiments.Scale) (*experiments.Table, error) { return experiments.Theorem1(1<<18, 3) }},
+		{"t2", func(experiments.Scale) (*experiments.Table, error) {
 			return experiments.Theorem2(32, []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}, 20000, *seed)
 		}},
-		{"t3", func() (*experiments.Table, error) { return experiments.Theorem3(1<<18, 3) }},
-		{"t4", func() (*experiments.Table, error) { return experiments.Theorem4(scale, *seed) }},
-		{"e2", func() (*experiments.Table, error) { return experiments.Equation2(64) }},
-		{"e2w", func() (*experiments.Table, error) { return experiments.CoverageVsW(1 << 32) }},
-		{"e3", func() (*experiments.Table, error) { return experiments.Policies(1024, 500000, *seed) }},
-		{"e4", func() (*experiments.Table, error) { return experiments.Adaptive(scale, *seed) }},
-		{"e5", func() (*experiments.Table, error) { return experiments.Nested(scale, *seed) }},
-		{"h1", func() (*experiments.Table, error) { return experiments.Hybrid(scale, *seed) }},
-		{"whp", func() (*experiments.Table, error) {
+		{"t3", func(experiments.Scale) (*experiments.Table, error) { return experiments.Theorem3(1<<18, 3) }},
+		{"t4", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Theorem4(s, *seed) }},
+		{"e2", func(experiments.Scale) (*experiments.Table, error) { return experiments.Equation2(64) }},
+		{"e2w", func(experiments.Scale) (*experiments.Table, error) { return experiments.CoverageVsW(1 << 32) }},
+		{"e3", func(experiments.Scale) (*experiments.Table, error) { return experiments.Policies(1024, 500000, *seed) }},
+		{"e4", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Adaptive(s, *seed) }},
+		{"e5", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Nested(s, *seed) }},
+		{"h1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Hybrid(s, *seed) }},
+		{"whp", func(experiments.Scale) (*experiments.Table, error) {
 			return experiments.FailureProbability([]uint{12, 14, 16, 18}, 20)
 		}},
-		{"e6", func() (*experiments.Table, error) {
+		{"e6", func(experiments.Scale) (*experiments.Table, error) {
 			return experiments.Tenants(1536, 4096, 2_000_000, *seed)
 		}},
-		{"e7", func() (*experiments.Table, error) { return experiments.Related(scale, *seed) }},
-		{"e8", func() (*experiments.Table, error) { return experiments.TimeShare(scale, *seed) }},
-		{"e9", func() (*experiments.Table, error) { return experiments.TLBGeometryStudy(scale, *seed) }},
-		{"e10", func() (*experiments.Table, error) {
+		{"e7", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Related(s, *seed) }},
+		{"e8", func(s experiments.Scale) (*experiments.Table, error) { return experiments.TimeShare(s, *seed) }},
+		{"e9", func(s experiments.Scale) (*experiments.Table, error) { return experiments.TLBGeometryStudy(s, *seed) }},
+		{"e10", func(experiments.Scale) (*experiments.Table, error) {
 			return experiments.MultiCoreStudy(1536, 1<<14, 2_000_000, *seed)
 		}},
-		{"x1", func() (*experiments.Table, error) { return experiments.Crossover(scale, *seed) }},
+		{"x1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Crossover(s, *seed) }},
 	}
 
 	var selected []struct {
@@ -117,15 +137,98 @@ func main() {
 		}
 	}
 
+	man := obs.NewManifest("figures", os.Args[1:])
+	man.Config = obs.FlagConfig(nil)
+	man.Seeds = []uint64{*seed}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, "figures", len(selected))
+	}
+	if *httpAddr != "" {
+		addr, err := obs.StartHTTP(*httpAddr)
+		if err != nil {
+			die(1, "figures: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "figures: serving live counters on http://%s/debug/vars\n", addr)
+	}
+	// Curves land next to the figure outputs; with stdout output they go
+	// to the manifest directory instead.
+	curveDir := *outDir
+	if curveDir == "" {
+		curveDir = *maniDir
+	}
+
 	for _, e := range selected {
-		tab, err := e.run()
+		runScale := scale
+		rec := obs.NewRecorder(*sample)
+		runScale.Probe = rec
+		var hits0, misses0 uint64
+		if cache != nil {
+			hits0, misses0 = cache.Stats()
+		}
+		prog.Start(e.id)
+		start := time.Now()
+		tab, err := e.run(runScale)
 		if err != nil {
 			die(1, "figures: %s: %v\n", e.id, err)
 		}
+		elapsed := time.Since(start)
 		if err := emit(tab, *format, *outDir); err != nil {
 			die(1, "figures: %s: %v\n", e.id, err)
 		}
+		if rec.HasSeries() && curveDir != "" {
+			if err := writeCurves(rec, curveDir, tab.Name); err != nil {
+				die(1, "figures: %s: %v\n", e.id, err)
+			}
+		}
+		rr := obs.RunRecord{
+			ID: e.id, Table: tab.Name, Rows: len(tab.Rows),
+			WallSeconds: elapsed.Seconds(), Phases: rec.Phases(),
+		}
+		var hits, misses uint64
+		if cache != nil {
+			hits, misses = cache.Stats()
+			rr.CacheHits, rr.CacheMisses = hits-hits0, misses-misses0
+		}
+		man.Experiments = append(man.Experiments, rr)
+		prog.Finish(e.id, elapsed, hits, misses)
 	}
+
+	man.Finish()
+	if cache != nil {
+		hits, misses := cache.Stats()
+		man.Cache = &obs.CacheStats{Dir: cache.Dir(), Hits: hits, Misses: misses}
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(os.Stderr, "figures: result cache: %d hits, %d misses (%.1f%% hit rate) under %s\n",
+			hits, misses, rate, cache.Dir())
+	}
+	if *maniDir != "" {
+		path, err := man.Write(*maniDir)
+		if err != nil {
+			die(1, "figures: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote run manifest %s\n", path)
+	}
+}
+
+// writeCurves renders one experiment's cost-over-time series into
+// <dir>/<name>.curves.tsv.
+func writeCurves(rec *obs.Recorder, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".curves.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // flushProfile stops the CPU profile and writes the heap profile, if

@@ -25,6 +25,12 @@ type Scale struct {
 	// seed). Cached cells produce identical tables because the key covers
 	// everything that determines the counters.
 	Cache CostCache
+	// Probe, when non-nil, receives phase-lifecycle events and periodic
+	// per-algorithm cost snapshots from the row drivers (see Probe).
+	// Snapshots are taken between chunks, never inside the access loop,
+	// so a probe cannot change a single counter; nil disables all
+	// telemetry at the cost of one nil check per chunk.
+	Probe Probe
 }
 
 // PaperScale runs the paper's exact dimensions (hours of CPU).

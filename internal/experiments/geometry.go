@@ -63,12 +63,12 @@ func TLBGeometryStudy(s Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		results[i].fits = mm.RunWarm(a, fitsWarm, fitsMeas)
+		results[i].fits = s.runWarm("e9-fits", a, fitsWarm, fitsMeas)
 		b, err := mm.NewGeometry(variants[i].cfg)
 		if err != nil {
 			return err
 		}
-		results[i].thrash = mm.RunWarm(b, thrashWarm, thrashMeas)
+		results[i].thrash = s.runWarm("e9-thrash", b, thrashWarm, thrashMeas)
 		return nil
 	}); err != nil {
 		return nil, err

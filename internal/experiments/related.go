@@ -91,7 +91,7 @@ func Related(s Scale, seed uint64) (*Table, error) {
 	algos := []mm.Algorithm{plain, co, ds, z}
 	costs := make([]mm.Costs, len(algos))
 	if err := forEach(len(algos), func(i int) error {
-		costs[i] = mm.RunWarm(algos[i], warm, meas)
+		costs[i] = s.runWarm("e7-mixed", algos[i], warm, meas)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -2,10 +2,28 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"addrxlat/internal/mm"
 	"addrxlat/internal/workload"
 )
+
+// Probe observes the row drivers: phase-lifecycle events and periodic
+// cost snapshots taken at chunk boundaries (never inside the access
+// loop). Like CostCache, the interface lives here so the harness stays
+// decoupled from its implementation — internal/obs.Recorder is the
+// standard one, plugged in by cmd/figures. Implementations must be safe
+// for concurrent use: samples arrive from the sweep workers.
+type Probe interface {
+	// RowSample reports alg's cumulative counters at a chunk boundary of
+	// the named phase (mm.PhaseWarmup or mm.PhaseMeasured) of row.
+	// Costs.Accesses counts from the phase start.
+	RowSample(row, phase, alg string, c mm.Costs)
+	// RowPhase reports that a phase of n accesses finished in elapsed
+	// wall time. alg is empty for streaming rows, where every simulator
+	// shares the window; materialized runs report per algorithm.
+	RowPhase(row, phase, alg string, accesses int, elapsed time.Duration)
+}
 
 // streamChunk is the request-chunk granularity of the row drivers. One
 // chunk is generated once and fanned out to every simulator in the row, so
@@ -70,20 +88,46 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) error {
 	if err != nil {
 		return err
 	}
-	if err := streamWindow(s, gen, m.warmupN, sims); err != nil {
+	// Simulator names are resolved once per row: the probe hook needs
+	// them per chunk, and Name() formats.
+	var names []string
+	if s.Probe != nil {
+		names = make([]string, len(sims))
+		for i, a := range sims {
+			names[i] = a.Name()
+		}
+	}
+	if err := m.window(s, gen, m.warmupN, sims, names, mm.PhaseWarmup); err != nil {
 		return err
 	}
 	for _, a := range sims {
 		a.ResetCosts()
 	}
-	return streamWindow(s, gen, m.measuredN, sims)
+	return m.window(s, gen, m.measuredN, sims, names, mm.PhaseMeasured)
+}
+
+// window streams one phase of the row and, with a probe attached, reports
+// the phase's access count and wall time when it completes.
+func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, names []string, phase string) error {
+	if s.Probe == nil {
+		return streamWindow(s, gen, n, sims, nil, "", "")
+	}
+	start := time.Now()
+	if err := streamWindow(s, gen, n, sims, names, string(m.workload), phase); err != nil {
+		return err
+	}
+	s.Probe.RowPhase(string(m.workload), phase, "", n, time.Since(start))
+	return nil
 }
 
 // streamWindow feeds the next n requests of gen to every sim, chunk by
 // chunk through a double-buffered Source, so generation overlaps the
 // previous chunk's simulation. Window boundaries get their own Source:
-// chunks never straddle the warmup/measured counter reset.
-func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm) error {
+// chunks never straddle the warmup/measured counter reset. With a probe
+// attached (names non-nil), each sim's cumulative counters are sampled
+// after it finishes each chunk — between AccessBatch calls, so the access
+// hot path never sees the probe.
+func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, names []string, row, phase string) error {
 	src, err := workload.NewSource(gen, streamChunk, n)
 	if err != nil {
 		return err
@@ -96,14 +140,53 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm) e
 		}
 		if len(sims) == 1 {
 			accessAll(sims[0], chunk)
+			if names != nil {
+				s.Probe.RowSample(row, phase, names[0], sims[0].Costs())
+			}
 		} else if err := s.forEach(len(sims), func(i int) error {
 			accessAll(sims[i], chunk)
+			if names != nil {
+				s.Probe.RowSample(row, phase, names[i], sims[i].Costs())
+			}
 			return nil
 		}); err != nil {
 			return err
 		}
 		src.Recycle(chunk)
 	}
+}
+
+// probeSampler adapts a Probe to mm.Sampler under a fixed row label, for
+// experiments that run materialized windows through the mm runners.
+type probeSampler struct {
+	row string
+	p   Probe
+}
+
+func (ps probeSampler) Sample(phase, alg string, c mm.Costs) {
+	ps.p.RowSample(ps.row, phase, alg, c)
+}
+
+// runWarm is mm.RunWarm with the scale's telemetry attached: with a probe
+// it runs both windows through mm.RunPhaseSampled at the stream chunk
+// granularity, reporting per-phase samples and wall times under the given
+// row label; without one it is exactly mm.RunWarm. Either way the final
+// counters are identical (chunking an AccessBatch changes no state
+// transitions — pinned by TestSampledRunsByteIdentical).
+func (s Scale) runWarm(row string, a mm.Algorithm, warmup, measured []uint64) mm.Costs {
+	if s.Probe == nil {
+		return mm.RunWarm(a, warmup, measured)
+	}
+	name := a.Name()
+	ps := probeSampler{row: row, p: s.Probe}
+	start := time.Now()
+	mm.RunPhaseSampled(a, warmup, streamChunk, ps, mm.PhaseWarmup)
+	s.Probe.RowPhase(row, mm.PhaseWarmup, name, len(warmup), time.Since(start))
+	a.ResetCosts()
+	start = time.Now()
+	c := mm.RunPhaseSampled(a, measured, streamChunk, ps, mm.PhaseMeasured)
+	s.Probe.RowPhase(row, mm.PhaseMeasured, name, len(measured), time.Since(start))
+	return c
 }
 
 // accessAll services one chunk on one simulator, batched when possible.

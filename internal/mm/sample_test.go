@@ -1,0 +1,123 @@
+package mm
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+// collectSampler records every sample it receives.
+type collectSampler struct {
+	phases   []string
+	algs     []string
+	accesses []uint64
+	costs    []Costs
+}
+
+func (s *collectSampler) Sample(phase, alg string, c Costs) {
+	s.phases = append(s.phases, phase)
+	s.algs = append(s.algs, alg)
+	s.accesses = append(s.accesses, c.Accesses)
+	s.costs = append(s.costs, c)
+}
+
+// sampleReqs draws the bimodal-ish request mix the other mm tests use.
+func sampleReqs(n int) []uint64 {
+	r := hashutil.NewRNG(99)
+	reqs := make([]uint64, n)
+	for i := range reqs {
+		if r.Uint64n(100) < 90 {
+			reqs[i] = r.Uint64n(1 << 10)
+		} else {
+			reqs[i] = r.Uint64n(1 << 15)
+		}
+	}
+	return reqs
+}
+
+// TestRunSampledMatchesRun pins the telemetry guarantee at the mm layer:
+// feeding the request slice in sampling intervals leaves every
+// algorithm's final counters identical to a single-batch Run, for every
+// Algorithm implementation.
+func TestRunSampledMatchesRun(t *testing.T) {
+	reqs := sampleReqs(30000)
+	plain := allAlgorithms(t, 7)
+	sampled := allAlgorithms(t, 7)
+	for i := range plain {
+		want := Run(plain[i], reqs)
+		s := &collectSampler{}
+		got := RunSampled(sampled[i], reqs, 777, s)
+		if got != want {
+			t.Errorf("%s: sampled run differs: got %v want %v", plain[i].Name(), got, want)
+		}
+		wantSamples := (len(reqs) + 776) / 777
+		if len(s.costs) != wantSamples {
+			t.Errorf("%s: got %d samples, want %d", plain[i].Name(), len(s.costs), wantSamples)
+		}
+		last := s.costs[len(s.costs)-1]
+		if last != want {
+			t.Errorf("%s: final sample %v does not match final counters %v", plain[i].Name(), last, want)
+		}
+		for j := 1; j < len(s.accesses); j++ {
+			if s.accesses[j] <= s.accesses[j-1] {
+				t.Fatalf("%s: sample accesses not increasing: %d then %d", plain[i].Name(), s.accesses[j-1], s.accesses[j])
+			}
+		}
+	}
+}
+
+// TestRunWarmSampledMatchesRunWarm is the two-phase variant: identical
+// counters, and samples labeled with both phases in order.
+func TestRunWarmSampledMatchesRunWarm(t *testing.T) {
+	reqs := sampleReqs(40000)
+	warm, meas := reqs[:20000], reqs[20000:]
+	plain := allAlgorithms(t, 3)
+	sampled := allAlgorithms(t, 3)
+	for i := range plain {
+		want := RunWarm(plain[i], warm, meas)
+		s := &collectSampler{}
+		got := RunWarmSampled(sampled[i], warm, meas, 4096, s)
+		if got != want {
+			t.Errorf("%s: sampled warm run differs: got %v want %v", plain[i].Name(), got, want)
+		}
+		sawWarm, sawMeas := false, false
+		for j, ph := range s.phases {
+			switch ph {
+			case PhaseWarmup:
+				if sawMeas {
+					t.Fatalf("%s: warmup sample after measured sample", plain[i].Name())
+				}
+				sawWarm = true
+			case PhaseMeasured:
+				sawMeas = true
+			default:
+				t.Fatalf("%s: unknown phase %q", plain[i].Name(), ph)
+			}
+			if s.algs[j] != plain[i].Name() {
+				t.Fatalf("%s: sample attributed to %q", plain[i].Name(), s.algs[j])
+			}
+		}
+		if !sawWarm || !sawMeas {
+			t.Errorf("%s: phases warmup=%v measured=%v, want both", plain[i].Name(), sawWarm, sawMeas)
+		}
+	}
+}
+
+// TestRunSampledNilSamplerIsRun checks the disabled paths degrade to the
+// plain runners.
+func TestRunSampledNilSamplerIsRun(t *testing.T) {
+	reqs := sampleReqs(10000)
+	a := allAlgorithms(t, 1)[0]
+	b := allAlgorithms(t, 1)[0]
+	if got, want := RunSampled(a, reqs, 100, nil), Run(b, reqs); got != want {
+		t.Errorf("nil sampler: got %v want %v", got, want)
+	}
+	c := allAlgorithms(t, 1)[0]
+	s := &collectSampler{}
+	if got, want := RunSampled(c, reqs, 0, s), Run(allAlgorithms(t, 1)[0], reqs); got != want {
+		t.Errorf("every=0: got %v want %v", got, want)
+	}
+	if len(s.costs) != 0 {
+		t.Errorf("every=0 produced %d samples", len(s.costs))
+	}
+}

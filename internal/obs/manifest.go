@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// PhaseRecord is one warmup or measured window in a run manifest: which
+// row and (for materialized runs) algorithm it belongs to, how many
+// accesses it served, and how long it took.
+type PhaseRecord struct {
+	Row         string  `json:"row,omitempty"`
+	Phase       string  `json:"phase"`
+	Alg         string  `json:"alg,omitempty"`
+	Accesses    int     `json:"accesses"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// CacheStats summarizes result-cache traffic for a manifest.
+type CacheStats struct {
+	Dir    string `json:"dir,omitempty"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// RunRecord is one experiment (or standalone simulation) in a manifest.
+type RunRecord struct {
+	ID          string        `json:"id"`
+	Table       string        `json:"table,omitempty"`
+	Rows        int           `json:"rows,omitempty"`
+	WallSeconds float64       `json:"wall_seconds"`
+	CacheHits   uint64        `json:"cache_hits,omitempty"`
+	CacheMisses uint64        `json:"cache_misses,omitempty"`
+	Phases      []PhaseRecord `json:"phases,omitempty"`
+}
+
+// Manifest records everything needed to reproduce and audit one CLI
+// invocation. Every cmd/figures and cmd/atsim run writes one to the
+// results directory, so each emitted TSV can be traced back to the exact
+// configuration, code revision, and cache state that produced it.
+type Manifest struct {
+	Command     string            `json:"command"`
+	Args        []string          `json:"args,omitempty"`
+	Config      map[string]string `json:"config,omitempty"`
+	Seeds       []uint64          `json:"seeds,omitempty"`
+	GoVersion   string            `json:"go_version"`
+	OS          string            `json:"os"`
+	Arch        string            `json:"arch"`
+	GitRevision string            `json:"git_revision,omitempty"`
+	GitDirty    bool              `json:"git_dirty,omitempty"`
+	Start       time.Time         `json:"start"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Experiments []RunRecord       `json:"experiments,omitempty"`
+	Cache       *CacheStats       `json:"cache,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command, stamping the
+// environment (go version, platform, source revision) and the start time.
+// args is the raw command line (os.Args[1:]).
+func NewManifest(command string, args []string) *Manifest {
+	rev, dirty := gitVersion()
+	return &Manifest{
+		Command:     command,
+		Args:        args,
+		GoVersion:   runtime.Version(),
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		GitRevision: rev,
+		GitDirty:    dirty,
+		Start:       time.Now().UTC(),
+	}
+}
+
+// FlagConfig snapshots every flag's resolved value (defaults included)
+// for the manifest's config block. Call after fs.Parse; fs nil means the
+// default command-line set.
+func FlagConfig(fs *flag.FlagSet) map[string]string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	cfg := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	return cfg
+}
+
+// Finish stamps the total wall time.
+func (m *Manifest) Finish() {
+	m.WallSeconds = time.Since(m.Start).Seconds()
+}
+
+// Filename returns the manifest's canonical file name,
+// manifest-<command>-<startUTC>.json — one file per invocation, so a
+// results directory accumulates a run log.
+func (m *Manifest) Filename() string {
+	return fmt.Sprintf("manifest-%s-%s.json", m.Command, m.Start.UTC().Format("20060102T150405Z"))
+}
+
+// Write renders the manifest as indented JSON into dir (created if
+// needed) under its canonical Filename, returning the written path.
+func (m *Manifest) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	path := filepath.Join(dir, m.Filename())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	return path, nil
+}
+
+// gitVersion resolves the source revision: the VCS stamp the go tool
+// embeds at build time when available, else a best-effort `git describe`
+// (go run and go test build without VCS stamps). Failures degrade to an
+// empty revision — a manifest must never fail a run.
+func gitVersion() (rev string, dirty bool) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			return rev, dirty
+		}
+	}
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "", false
+	}
+	rev = strings.TrimSpace(string(out))
+	return rev, strings.HasSuffix(rev, "-dirty")
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Progress prints live sweep progress lines to w and mirrors the counters
+// into the process expvar map (served by StartHTTP). One unit is one
+// experiment of a sweep. A nil Progress is a no-op on every method, so
+// callers thread it unconditionally.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress starts progress tracking for total units, printing to w
+// with the given line prefix (the command name).
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	expInt("sweep_total").Set(int64(total))
+	expInt("sweep_done").Set(0)
+	expStr("sweep_current").Set("")
+	return &Progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// Start announces that unit id began running.
+func (p *Progress) Start(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	expStr("sweep_current").Set(id)
+	fmt.Fprintf(p.w, "%s: [%2d/%d] %s ...\n", p.label, p.done+1, p.total, id)
+}
+
+// Finish reports unit id done: its wall time, the sweep ETA extrapolated
+// from the average completed-unit time, and the cumulative result-cache
+// hit counts (pass zeros when no cache is attached).
+func (p *Progress) Finish(id string, elapsed time.Duration, cacheHits, cacheMisses uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	expInt("sweep_done").Set(int64(p.done))
+	expInt("cache_hits").Set(int64(cacheHits))
+	expInt("cache_misses").Set(int64(cacheMisses))
+	expInt("elapsed_ms").Set(time.Since(p.start).Milliseconds())
+
+	line := fmt.Sprintf("%s: [%2d/%d] %-16s %8s", p.label, p.done, p.total, id,
+		elapsed.Round(time.Millisecond))
+	if p.done < p.total {
+		eta := time.Since(p.start) / time.Duration(p.done) * time.Duration(p.total-p.done)
+		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	if lookups := cacheHits + cacheMisses; lookups > 0 {
+		line += fmt.Sprintf("  cache %d/%d hits (%.0f%%)",
+			cacheHits, lookups, 100*float64(cacheHits)/float64(lookups))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// StartHTTP serves the process expvar page on addr in the background and
+// returns the bound address (useful with ":0"). The counters live at
+// /debug/vars under the "addrxlat." prefix; long sweeps can be watched
+// with `curl -s host:port/debug/vars | jq '."addrxlat.sweep_done"'`.
+func StartHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}
+
+// The expvar registry is process-global and panics on duplicate names, so
+// the published vars are created once and reused across Progress
+// instances (tests construct several).
+var (
+	expMu   sync.Mutex
+	expInts = map[string]*expvar.Int{}
+	expStrs = map[string]*expvar.String{}
+)
+
+func expInt(name string) *expvar.Int {
+	expMu.Lock()
+	defer expMu.Unlock()
+	if v, ok := expInts[name]; ok {
+		return v
+	}
+	v := expvar.NewInt("addrxlat." + name)
+	expInts[name] = v
+	return v
+}
+
+func expStr(name string) *expvar.String {
+	expMu.Lock()
+	defer expMu.Unlock()
+	if v, ok := expStrs[name]; ok {
+		return v
+	}
+	v := expvar.NewString("addrxlat." + name)
+	expStrs[name] = v
+	return v
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressLines checks the stderr protocol: a start line per unit, a
+// finish line with wall time, an ETA while units remain (and none on the
+// last), and the cache hit summary when lookups happened.
+func TestProgressLines(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "figures", 2)
+	p.Start("f1a")
+	p.Finish("f1a", 1500*time.Millisecond, 3, 1)
+	p.Start("x1")
+	p.Finish("x1", 500*time.Millisecond, 6, 2)
+
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "[ 1/2] f1a ...") {
+		t.Errorf("start line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.5s") || !strings.Contains(lines[1], "eta") ||
+		!strings.Contains(lines[1], "cache 3/4 hits (75%)") {
+		t.Errorf("finish line = %q", lines[1])
+	}
+	if strings.Contains(lines[3], "eta") {
+		t.Errorf("last finish line should have no ETA: %q", lines[3])
+	}
+	if !strings.Contains(lines[3], "cache 6/8 hits (75%)") {
+		t.Errorf("last finish line = %q", lines[3])
+	}
+}
+
+// TestProgressNoCache: zero lookups suppress the cache column.
+func TestProgressNoCache(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "figures", 1)
+	p.Start("t1")
+	p.Finish("t1", time.Millisecond, 0, 0)
+	if strings.Contains(sb.String(), "cache") {
+		t.Fatalf("cache column printed with no lookups:\n%s", sb.String())
+	}
+}
+
+// TestProgressNilIsNoOp: a nil Progress absorbs every call.
+func TestProgressNilIsNoOp(t *testing.T) {
+	var p *Progress
+	p.Start("x")
+	p.Finish("x", time.Second, 0, 0)
+}
+
+// TestStartHTTP serves /debug/vars on a throwaway port and checks the
+// sweep counters are published under the addrxlat prefix.
+func TestStartHTTP(t *testing.T) {
+	addr, err := StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	var sb strings.Builder
+	p := NewProgress(&sb, "figures", 3)
+	p.Start("f1a")
+	p.Finish("f1a", time.Millisecond, 1, 1)
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		`"addrxlat.sweep_total": 3`,
+		`"addrxlat.sweep_done": 1`,
+		`"addrxlat.cache_hits": 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"addrxlat/internal/mm"
 )
@@ -27,6 +28,9 @@ import (
 // rename), matching the experiments.CostCache contract.
 type Cache struct {
 	dir string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // Open creates the cache directory if needed and returns the cache.
@@ -39,6 +43,12 @@ func Open(dir string) (*Cache, error) {
 
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns how many Get lookups hit and missed since Open. Safe for
+// concurrent use; sweeps snapshot it per experiment to attribute traffic.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
 
 // entry is the on-disk cell format. Key keeps the entry self-describing
 // (and guards against collisions); the counters mirror mm.Costs.
@@ -61,12 +71,15 @@ func (c *Cache) path(key string) string {
 func (c *Cache) Get(key string) (mm.Costs, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return mm.Costs{}, false
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		c.misses.Add(1)
 		return mm.Costs{}, false
 	}
+	c.hits.Add(1)
 	return mm.Costs{
 		IOs:            e.IOs,
 		TLBMisses:      e.TLBMisses,

@@ -63,3 +63,23 @@ func TestCollisionGuard(t *testing.T) {
 		t.Fatal("mismatched stored key was served as a hit")
 	}
 }
+
+// TestStats checks the hit/miss counters cmd/figures reports at exit:
+// lookups before any Put are misses, lookups after are hits, and
+// corrupted entries count as misses.
+func TestStats(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("fresh cache Stats = %d, %d", h, m)
+	}
+	c.Get("absent")
+	c.Put("cell|a", mm.Costs{IOs: 1})
+	c.Get("cell|a")
+	c.Get("cell|a")
+	if h, m := c.Stats(); h != 2 || m != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", h, m)
+	}
+}
