@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench race vet
+.PHONY: all build test check bench race vet fuzz-smoke
 
 all: build
 
@@ -14,9 +14,15 @@ vet:
 	$(GO) vet ./...
 
 # race runs the race detector over the packages that actually spawn
-# goroutines (the sweep worker pool and the experiment drivers that use it).
+# goroutines: the sweep worker pool, the experiment drivers that use it,
+# the shared on-disk result cache, and the concurrent sweep journal.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/experiments/
+	$(GO) test -race ./internal/parallel/ ./internal/experiments/ ./internal/resultcache/ ./internal/journal/ ./internal/faultinject/
+
+# fuzz-smoke runs a short fuzzing pass over the trace codec (seeded from
+# testdata/fuzz), catching decoder regressions without a dedicated fuzz farm.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=20s ./internal/trace/
 
 # bench runs the hot-path benchmarks with allocation reporting, teeing the
 # output into a timestamped file under results/ so runs can be compared

@@ -11,14 +11,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"addrxlat/internal/core"
+	"addrxlat/internal/faultinject"
 	"addrxlat/internal/graph500"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/obs"
@@ -30,6 +35,13 @@ import (
 
 // profile is flushed on every exit path, including fail().
 var profile *prof.Flags
+
+// exitMan/exitManDir let fail() and cancellation flush the run manifest
+// with an honest status before exiting.
+var (
+	exitMan    *obs.Manifest
+	exitManDir string
+)
 
 func main() {
 	var (
@@ -61,6 +73,9 @@ func main() {
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fail(err)
+	}
 	if err := profile.Start(); err != nil {
 		fail(err)
 	}
@@ -69,6 +84,16 @@ func main() {
 			os.Exit(1)
 		}
 	}()
+
+	// SIGINT/SIGTERM drain the simulation at the next chunk boundary; the
+	// run exits 130 through fail() with a "canceled" manifest.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	man := obs.NewManifest("atsim", os.Args[1:])
+	man.Config = obs.FlagConfig(nil)
+	man.Seeds = []uint64{*seed}
+	exitMan, exitManDir = man, *maniDir
 
 	var (
 		warm, meas []uint64
@@ -105,21 +130,18 @@ func main() {
 		fail(err)
 	}
 
-	man := obs.NewManifest("atsim", os.Args[1:])
-	man.Config = obs.FlagConfig(nil)
-	man.Seeds = []uint64{*seed}
 	rec := obs.NewRecorder(*sample)
 
 	var costs mm.Costs
 	var dumpStats string
 	runStart := time.Now()
 	if *replay != "" {
-		costs, dumpStats, err = runReplay(alg, *replay, *warmN, *measN, *dumpTo, rec)
-		if err != nil {
-			fail(err)
-		}
+		costs, dumpStats, err = runReplay(ctx, alg, *replay, *warmN, *measN, *dumpTo, rec)
 	} else {
-		costs = runGenerated(alg, warm, meas, rec)
+		costs, err = runGenerated(ctx, alg, warm, meas, rec)
+	}
+	if err != nil {
+		fail(err)
 	}
 	runElapsed := time.Since(runStart)
 	fmt.Printf("algorithm: %s\n", alg.Name())
@@ -161,34 +183,32 @@ func main() {
 			fmt.Printf("curves:    wrote cost-over-time series to %s\n", path)
 		}
 	}
-	if *maniDir != "" {
-		man.Experiments = []obs.RunRecord{{
-			ID: *algo, Table: *wl, Rows: 1,
-			WallSeconds: runElapsed.Seconds(), Phases: rec.Phases(),
-		}}
-		man.Finish()
-		// A manifest failure must not fail the simulation it describes.
-		if path, err := man.Write(*maniDir); err != nil {
-			fmt.Fprintf(os.Stderr, "atsim: manifest: %v\n", err)
-		} else {
-			fmt.Printf("manifest:  %s\n", path)
-		}
-	}
+	man.Experiments = []obs.RunRecord{{
+		ID: *algo, Table: *wl, Rows: 1,
+		WallSeconds: runElapsed.Seconds(), Phases: rec.Phases(),
+	}}
+	flushManifest("ok", "")
 }
 
 // runGenerated is the materialized-window run path: mm.RunWarm semantics
-// with per-phase samples and wall times fed to rec. Chunking through
-// RunPhaseSampled cannot change the counters (Batcher contract).
-func runGenerated(alg mm.Algorithm, warm, meas []uint64, rec *obs.Recorder) mm.Costs {
+// with per-phase samples and wall times fed to rec, draining at a chunk
+// boundary when ctx is canceled. Chunking through the sampled runner
+// cannot change the counters (Batcher contract).
+func runGenerated(ctx context.Context, alg mm.Algorithm, warm, meas []uint64, rec *obs.Recorder) (mm.Costs, error) {
 	name := alg.Name()
 	start := time.Now()
-	mm.RunPhaseSampled(alg, warm, workload.DefaultChunk, rec, mm.PhaseWarmup)
+	if _, err := mm.RunPhaseSampledCtx(ctx, alg, warm, workload.DefaultChunk, rec, mm.PhaseWarmup); err != nil {
+		return alg.Costs(), err
+	}
 	rec.RowPhase("", mm.PhaseWarmup, name, len(warm), time.Since(start))
 	alg.ResetCosts()
 	start = time.Now()
-	c := mm.RunPhaseSampled(alg, meas, workload.DefaultChunk, rec, mm.PhaseMeasured)
+	c, err := mm.RunPhaseSampledCtx(ctx, alg, meas, workload.DefaultChunk, rec, mm.PhaseMeasured)
+	if err != nil {
+		return c, err
+	}
 	rec.RowPhase("", mm.PhaseMeasured, name, len(meas), time.Since(start))
-	return c
+	return c, nil
 }
 
 // writeCurves renders the recorded cost-over-time series to path.
@@ -242,7 +262,7 @@ func replayStats(path string) (trace.Stats, error) {
 // counter reset, measN accesses — decoding chunk by chunk. When dumpTo is
 // set, the measured window is simultaneously re-encoded to that file and
 // its stats string returned. rec observes the run at chunk boundaries.
-func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string, rec *obs.Recorder) (mm.Costs, string, error) {
+func runReplay(ctx context.Context, alg mm.Algorithm, path string, warmN, measN int, dumpTo string, rec *obs.Recorder) (mm.Costs, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return mm.Costs{}, "", err
@@ -256,6 +276,9 @@ func runReplay(alg mm.Algorithm, path string, warmN, measN int, dumpTo string, r
 	buf := make([]uint64, workload.DefaultChunk)
 	window := func(n int, each func([]uint64) error) error {
 		for n > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c := len(buf)
 			if n < c {
 				c = n
@@ -445,8 +468,34 @@ func flushProfile() bool {
 	return true
 }
 
+// flushManifest stamps the run's final status and writes the manifest.
+// Best effort — a manifest failure must not fail the simulation it
+// describes.
+func flushManifest(status, errMsg string) {
+	if exitMan == nil || exitManDir == "" {
+		return
+	}
+	exitMan.Status = status
+	exitMan.Partial = status != "ok"
+	exitMan.Error = errMsg
+	exitMan.Finish()
+	if path, err := exitMan.Write(exitManDir); err != nil {
+		fmt.Fprintf(os.Stderr, "atsim: manifest: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "atsim: wrote run manifest %s\n", path)
+	}
+}
+
+// fail flushes profiles and the manifest before exiting, since os.Exit
+// skips defers. A canceled run (SIGINT/SIGTERM) exits 130 with a
+// "canceled" manifest; everything else exits 1 with "failed".
 func fail(err error) {
 	flushProfile()
+	status, code := "failed", 1
+	if errors.Is(err, context.Canceled) {
+		status, code = "canceled", 130
+	}
+	flushManifest(status, err.Error())
 	fmt.Fprintf(os.Stderr, "atsim: %v\n", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -6,12 +6,14 @@
 //
 //	figures                      # run everything at the scaled defaults
 //	figures -fig f1a             # one experiment
+//	figures -fig t1,f1a          # a comma-separated subset, in order
 //	figures -full                # paper-scale dimensions (slow)
 //	figures -format csv -out dir # write one CSV per experiment into dir
 //	figures -cache dir           # result-cache location (default results/cache)
 //	figures -no-cache            # resimulate every cell
 //	figures -sample 1000000      # record cost-over-time curves every 1M accesses
 //	figures -http :8321          # serve live sweep counters at /debug/vars
+//	figures -resume manifest.json # resume an interrupted run
 //
 // Finished simulation cells are cached under results/cache keyed by a
 // hash of (workload, algorithm, machine geometry, window lengths, scale,
@@ -25,17 +27,33 @@
 // emits one <experiment>.curves.tsv cost-over-time file per experiment
 // next to the figure outputs. See the Observability sections of README.md
 // and EXPERIMENTS.md.
+//
+// Fault tolerance: SIGINT/SIGTERM drains the sweep at a chunk boundary,
+// flushes the manifest with "status": "canceled" and "partial": true, and
+// exits 130. Alongside the manifest a sweep journal records each finished
+// cell and experiment; `figures -resume <manifest>` restores the recorded
+// flags (explicit flags on the resume command line win), skips journaled
+// experiments, answers journaled cells from the result cache, and
+// reproduces byte-identical tables. ADDRXLAT_FAULTS arms fault injection
+// for testing these paths (see internal/faultinject).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"addrxlat/internal/experiments"
+	"addrxlat/internal/faultinject"
+	"addrxlat/internal/journal"
+	"addrxlat/internal/mm"
 	"addrxlat/internal/obs"
 	"addrxlat/internal/prof"
 	"addrxlat/internal/resultcache"
@@ -44,9 +62,16 @@ import (
 // profile is flushed on every exit path, including die().
 var profile *prof.Flags
 
+// exitMan/exitManDir let every exit path (die, cancellation, normal
+// completion) flush the run manifest with an honest status.
+var (
+	exitMan    *obs.Manifest
+	exitManDir string
+)
+
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment id: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|all")
+		fig      = flag.String("fig", "all", "experiment ids, comma-separated: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|...|all")
 		full     = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		format   = flag.String("format", "tsv", "output format: tsv|csv")
@@ -54,12 +79,44 @@ func main() {
 		cacheDir = flag.String("cache", "results/cache", "content-addressed result cache directory (see EXPERIMENTS.md)")
 		noCache  = flag.Bool("no-cache", false, "disable the result cache: simulate every cell")
 		sample   = flag.Uint64("sample", 0, "record cost-over-time curves every N accesses per algorithm (0 disables); written as <experiment>.curves.tsv next to the outputs")
-		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
+		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON and sweep journal into this directory (empty disables)")
 		httpAddr = flag.String("http", "", "serve live sweep counters (expvar) on this address, e.g. :8321")
 		progress = flag.Bool("progress", true, "print live per-experiment progress with ETA to stderr")
+		resume   = flag.String("resume", "", "resume an interrupted run from its manifest: restores the recorded flags (explicit flags here win) and skips journaled experiments")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
+	if err := faultinject.ArmFromEnv(); err != nil {
+		die(2, "figures: %v\n", err)
+	}
+
+	// -resume restores the interrupted run's flag configuration so the
+	// resumed sweep reproduces the same tables; flags given explicitly on
+	// this command line keep their values.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var prior *obs.Manifest
+	if *resume != "" {
+		var err error
+		prior, err = obs.LoadManifest(*resume)
+		if err != nil {
+			die(1, "figures: -resume: %v\n", err)
+		}
+		if prior.Command != "figures" {
+			die(2, "figures: -resume: manifest %s records a %q run, not figures\n", *resume, prior.Command)
+		}
+		for name, val := range prior.Config {
+			if name == "resume" || explicit[name] {
+				continue
+			}
+			if f := flag.Lookup(name); f != nil {
+				if err := f.Value.Set(val); err != nil {
+					die(2, "figures: -resume: restoring -%s=%q: %v\n", name, val, err)
+				}
+			}
+		}
+	}
+
 	if err := profile.Start(); err != nil {
 		die(1, "figures: %v\n", err)
 	}
@@ -69,10 +126,16 @@ func main() {
 		}
 	}()
 
+	// SIGINT/SIGTERM cancel the sweep context; the row drivers drain at
+	// the next chunk boundary and the run exits 130 below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale := experiments.DownScale()
 	if *full {
 		scale = experiments.PaperScale()
 	}
+	scale.Ctx = ctx
 	var cache *resultcache.Cache
 	if !*noCache && *cacheDir != "" {
 		var err error
@@ -124,22 +187,78 @@ func main() {
 		id  string
 		run runner
 	}
-	if *fig == "all" {
-		selected = all
-	} else {
+	seen := make(map[string]bool)
+	for _, id := range strings.Split(*fig, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if id == "all" {
+			selected = all
+			break
+		}
+		found := false
 		for _, e := range all {
-			if e.id == *fig {
+			if e.id == id {
 				selected = append(selected, e)
+				found = true
+				break
 			}
 		}
-		if len(selected) == 0 {
-			die(2, "figures: unknown experiment %q (want one of f1a f1b f1c t1 t2 t3 t4 e2 e3 e4 e5 h1 all)\n", *fig)
+		if !found {
+			die(2, "figures: unknown experiment %q (want one of f1a f1b f1c t1 t2 t3 t4 e2 e3 e4 e5 h1 ... all)\n", id)
 		}
+	}
+	if len(selected) == 0 {
+		die(2, "figures: no experiments selected by -fig %q\n", *fig)
 	}
 
 	man := obs.NewManifest("figures", os.Args[1:])
 	man.Config = obs.FlagConfig(nil)
 	man.Seeds = []uint64{*seed}
+	exitMan, exitManDir = man, *maniDir
+
+	// The sweep journal witnesses finished cells and experiments; a
+	// resumed run appends to the interrupted run's journal so completed
+	// experiments stay skipped across any number of crashes.
+	var (
+		jw     *journal.Writer
+		jstate *journal.State
+	)
+	if *maniDir != "" {
+		jpath := filepath.Join(*maniDir, man.JournalFilename())
+		if prior != nil && prior.Journal != "" {
+			jpath = prior.Journal
+			st, err := journal.Load(jpath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: -resume: journal %s unreadable (%v); resuming from the cache alone\n", jpath, err)
+			} else {
+				jstate = st
+				if st.Skipped > 0 {
+					fmt.Fprintf(os.Stderr, "figures: -resume: journal %s: skipped %d torn line(s)\n", jpath, st.Skipped)
+				}
+			}
+		}
+		man.Journal = jpath
+		var err error
+		jw, err = journal.Create(jpath)
+		if err != nil {
+			die(1, "figures: %v\n", err)
+		}
+		defer jw.Close()
+		if cache != nil {
+			scale.Cache = journalingCache{inner: cache, jw: jw}
+		}
+		// An early manifest marks the run in flight; a SIGKILL leaves this
+		// "running" manifest behind as the -resume handle.
+		man.Status = "running"
+		man.Partial = true
+		if _, err := man.Write(*maniDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: manifest: %v\n", err)
+		}
+	}
+
 	var prog *obs.Progress
 	if *progress {
 		prog = obs.NewProgress(os.Stderr, "figures", len(selected))
@@ -159,17 +278,34 @@ func main() {
 	}
 
 	for _, e := range selected {
+		if jstate != nil && jstate.Experiments[e.id] {
+			fmt.Fprintf(os.Stderr, "figures: %s: complete in journal, skipped (resume)\n", e.id)
+			man.Experiments = append(man.Experiments, obs.RunRecord{ID: e.id, Skipped: true})
+			continue
+		}
 		runScale := scale
 		rec := obs.NewRecorder(*sample)
 		runScale.Probe = rec
 		var hits0, misses0 uint64
 		if cache != nil {
-			hits0, misses0 = cache.Stats()
+			hits0, misses0, _ = cache.Stats()
 		}
 		prog.Start(e.id)
 		start := time.Now()
 		tab, err := e.run(runScale)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// Cooperative drain: the workers stopped at a chunk
+				// boundary; flush what we have and exit like an
+				// interrupted process should.
+				if rec.HasSeries() && curveDir != "" {
+					_ = writeCurves(rec, curveDir, e.id+".partial")
+				}
+				flushProfile()
+				flushManifest("canceled", fmt.Sprintf("%s: %v", e.id, err))
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
+				os.Exit(130)
+			}
 			die(1, "figures: %s: %v\n", e.id, err)
 		}
 		elapsed := time.Since(start)
@@ -181,37 +317,63 @@ func main() {
 				die(1, "figures: %s: %v\n", e.id, err)
 			}
 		}
+		if jw != nil {
+			if err := jw.Experiment(e.id); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: journal: %v\n", err)
+			}
+		}
 		rr := obs.RunRecord{
 			ID: e.id, Table: tab.Name, Rows: len(tab.Rows),
 			WallSeconds: elapsed.Seconds(), Phases: rec.Phases(),
 		}
 		var hits, misses uint64
 		if cache != nil {
-			hits, misses = cache.Stats()
+			hits, misses, _ = cache.Stats()
 			rr.CacheHits, rr.CacheMisses = hits-hits0, misses-misses0
 		}
 		man.Experiments = append(man.Experiments, rr)
 		prog.Finish(e.id, elapsed, hits, misses)
 	}
 
-	man.Finish()
 	if cache != nil {
-		hits, misses := cache.Stats()
-		man.Cache = &obs.CacheStats{Dir: cache.Dir(), Hits: hits, Misses: misses}
+		hits, misses, corrupt := cache.Stats()
+		man.Cache = &obs.CacheStats{Dir: cache.Dir(), Hits: hits, Misses: misses, Corrupt: corrupt}
 		rate := 0.0
 		if hits+misses > 0 {
 			rate = 100 * float64(hits) / float64(hits+misses)
 		}
 		fmt.Fprintf(os.Stderr, "figures: result cache: %d hits, %d misses (%.1f%% hit rate) under %s\n",
 			hits, misses, rate, cache.Dir())
-	}
-	if *maniDir != "" {
-		path, err := man.Write(*maniDir)
-		if err != nil {
-			die(1, "figures: %v\n", err)
+		if corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "figures: result cache: quarantined %d corrupt entr%s under %s\n",
+				corrupt, plural(corrupt, "y", "ies"), filepath.Join(cache.Dir(), resultcache.QuarantineDir))
 		}
-		fmt.Fprintf(os.Stderr, "figures: wrote run manifest %s\n", path)
 	}
+	flushManifest("ok", "")
+}
+
+// journalingCache witnesses every finished cell in the sweep journal as
+// it enters the result cache, so a resumed run knows which cells the
+// cache can answer without trusting anything else.
+type journalingCache struct {
+	inner experiments.CostCache
+	jw    *journal.Writer
+}
+
+func (c journalingCache) Get(key string) (mm.Costs, bool) { return c.inner.Get(key) }
+
+func (c journalingCache) Put(key string, v mm.Costs) {
+	c.inner.Put(key, v)
+	if err := c.jw.Cell(key); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: journal: %v\n", err)
+	}
+}
+
+func plural(n uint64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // writeCurves renders one experiment's cost-over-time series into
@@ -244,9 +406,29 @@ func flushProfile() bool {
 	return true
 }
 
-// die flushes profiles before exiting, since os.Exit skips defers.
+// flushManifest stamps the run's final status and (re)writes the
+// manifest under its stable filename. Best effort — a manifest failure
+// must not mask the run's own outcome.
+func flushManifest(status, errMsg string) {
+	if exitMan == nil || exitManDir == "" {
+		return
+	}
+	exitMan.Status = status
+	exitMan.Partial = status != "ok"
+	exitMan.Error = errMsg
+	exitMan.Finish()
+	if path, err := exitMan.Write(exitManDir); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: manifest: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "figures: wrote run manifest %s\n", path)
+	}
+}
+
+// die flushes profiles and the manifest before exiting, since os.Exit
+// skips defers.
 func die(code int, format string, args ...interface{}) {
 	flushProfile()
+	flushManifest("failed", strings.TrimSpace(fmt.Sprintf(format, args...)))
 	fmt.Fprintf(os.Stderr, format, args...)
 	os.Exit(code)
 }

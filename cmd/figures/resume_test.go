@@ -1,0 +1,162 @@
+package main
+
+// Kill-and-resume integration test: build the figures binary, kill it at
+// a chunk boundary mid-sweep via the sweep-kill fault point (os.Exit with
+// no flushing — a stand-in for SIGKILL/OOM), resume from the manifest it
+// left behind, and require the resulting tables to be byte-identical to
+// an uninterrupted run. The -fig list puts the instant e2 experiment
+// before f1a so the resume also exercises journal-based experiment
+// skipping.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"addrxlat/internal/faultinject"
+)
+
+// buildFigures compiles the figures binary once per test run.
+func buildFigures(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "figures")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runFigures executes the binary and returns its exit code and stderr.
+func runFigures(t *testing.T, bin string, env []string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("figures %v: %v\n%s", args, err, stderr.String())
+		}
+		code = ee.ExitCode()
+	}
+	return code, stderr.String()
+}
+
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the figures binary")
+	}
+	bin := buildFigures(t)
+	for _, seed := range []uint64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			root := t.TempDir()
+			seedArg := fmt.Sprintf("-seed=%d", seed)
+			figArg := "-fig=e2,f1a"
+
+			// Reference: one uninterrupted run.
+			fullOut := filepath.Join(root, "full-out")
+			if code, errOut := runFigures(t, bin, nil, figArg, seedArg,
+				"-out="+fullOut,
+				"-manifest="+filepath.Join(root, "full-mani"),
+				"-cache="+filepath.Join(root, "full-cache"),
+				"-progress=false"); code != 0 {
+				t.Fatalf("full run exited %d:\n%s", code, errOut)
+			}
+
+			// Crash: the sweep-kill fault point os.Exit(137)s at the second
+			// chunk boundary of the f1a row — after e2 was emitted and
+			// journaled, before f1a could finish.
+			partOut := filepath.Join(root, "part-out")
+			partMani := filepath.Join(root, "part-mani")
+			env := []string{faultinject.EnvVar + "=" + faultinject.SweepKill + "=f1a-bimodal@2"}
+			code, errOut := runFigures(t, bin, env, figArg, seedArg,
+				"-out="+partOut,
+				"-manifest="+partMani,
+				"-cache="+filepath.Join(root, "part-cache"),
+				"-progress=false")
+			if code != faultinject.KillExitCode {
+				t.Fatalf("killed run exited %d, want %d:\n%s", code, faultinject.KillExitCode, errOut)
+			}
+
+			// The crash left exactly one manifest, frozen at "running".
+			manifests, err := filepath.Glob(filepath.Join(partMani, "manifest-*.json"))
+			if err != nil || len(manifests) != 1 {
+				t.Fatalf("manifests after crash = %v (err %v), want exactly 1", manifests, err)
+			}
+			data, err := os.ReadFile(manifests[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), `"status": "running"`) {
+				t.Fatalf("crashed manifest is not marked running:\n%s", data)
+			}
+
+			// Resume from the crashed manifest: flags are restored from its
+			// config, e2 is skipped via the journal, f1a is recomputed.
+			code, errOut = runFigures(t, bin, nil, "-resume="+manifests[0])
+			if code != 0 {
+				t.Fatalf("resume exited %d:\n%s", code, errOut)
+			}
+			if !strings.Contains(errOut, "e2: complete in journal, skipped (resume)") {
+				t.Errorf("resume did not journal-skip e2:\n%s", errOut)
+			}
+
+			// Acceptance: byte-identical tables.
+			for _, name := range []string{"e2-hmax-scaling.tsv", "f1a-bimodal.tsv"} {
+				want, err := os.ReadFile(filepath.Join(fullOut, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(filepath.Join(partOut, name))
+				if err != nil {
+					t.Fatalf("resumed run did not produce %s: %v", name, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s differs after kill+resume:\n--- uninterrupted\n%s--- resumed\n%s", name, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPoisonedCellFooter is the CLI half of the per-cell fault story: a
+// single poisoned parameter point must not kill the sweep — its row reads
+// "error", the failure is footnoted, and every other row is produced.
+func TestPoisonedCellFooter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the figures binary")
+	}
+	bin := buildFigures(t)
+	root := t.TempDir()
+	outDir := filepath.Join(root, "out")
+	env := []string{faultinject.EnvVar + "=" + faultinject.CellPanic + "=(h=16"}
+	if code, errOut := runFigures(t, bin, env, "-fig=f1a", "-seed=1",
+		"-out="+outDir,
+		"-manifest="+filepath.Join(root, "mani"),
+		"-no-cache", "-progress=false"); code != 0 {
+		t.Fatalf("sweep with one poisoned cell exited %d:\n%s", code, errOut)
+	}
+	data, err := os.ReadFile(filepath.Join(outDir, "f1a-bimodal.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsv := string(data)
+	if !strings.Contains(tsv, "16\terror\terror\terror\n") {
+		t.Errorf("poisoned h=16 row missing from table:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "# note: cell h=16 failed:") {
+		t.Errorf("table footer lacks the per-cell error note:\n%s", tsv)
+	}
+	if n := strings.Count(tsv, "\terror"); n != 3 { // one row of three error cells
+		t.Errorf("%d error cells, want exactly 3 (one degraded row):\n%s", n, tsv)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"addrxlat/internal/parallel"
@@ -31,6 +32,14 @@ type Scale struct {
 	// so a probe cannot change a single counter; nil disables all
 	// telemetry at the cost of one nil check per chunk.
 	Probe Probe
+	// Ctx, when non-nil, cancels the sweep cooperatively: row drivers
+	// check it at every chunk boundary and sweep workers stop dispatching
+	// new cells once it is done, so a SIGINT drains within one chunk of
+	// simulation instead of finishing the run. The returned error wraps
+	// the context's error (test with errors.Is). Nil means run to
+	// completion. Cancellation never corrupts the result cache: a cell is
+	// only Put after its row finished cleanly.
+	Ctx context.Context
 }
 
 // PaperScale runs the paper's exact dimensions (hours of CPU).
@@ -99,7 +108,17 @@ func forEach(n int, fn func(i int) error) error {
 }
 
 // forEach is the Scale-aware variant: the sweep fans out across at most
-// s.Workers goroutines (GOMAXPROCS when 0).
+// s.Workers goroutines (GOMAXPROCS when 0) and stops dispatching new
+// tasks once s.Ctx is canceled.
 func (s Scale) forEach(n int, fn func(i int) error) error {
-	return parallel.ForEach(n, s.Workers, fn)
+	return parallel.ForEachCtx(s.context(), n, s.Workers, fn)
+}
+
+// context returns the sweep's cancellation context, tolerating the nil
+// default of the zero Scale.
+func (s Scale) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }

@@ -79,14 +79,26 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 		} else {
 			sims = append(sims, z)
 		}
-		if err := machine.runRow(s, sims); err != nil {
+		cellErrs, err := machine.runRow(s, sims)
+		if err != nil {
 			return nil, err
 		}
+		// Poisoned fixed-h cells drop out of the best-h contest with a
+		// footnote; the decoupled cell anchors two table rows, so its
+		// failure is fatal for the experiment.
 		for j, key := range simKeys {
+			if cellErrs[j] != nil {
+				valid[simIdx[j]] = false
+				t.AddNote("%s: fixed-h cell h=%d failed: %v", w, hs[simIdx[j]], cellErrs[j])
+				continue
+			}
 			costs[simIdx[j]] = sims[j].Costs()
 			s.cachePut(key, costs[simIdx[j]])
 		}
 		if !zCached {
+			if zErr := cellErrs[len(simKeys)]; zErr != nil {
+				return nil, zErr
+			}
 			zc = z.Costs()
 			s.cachePut(zKey, zc)
 		}
@@ -122,7 +134,7 @@ func Crossover(s Scale, seed uint64) (*Table, error) {
 			if c, ok := s.cacheGet(hyKey); ok {
 				hyc = c
 			} else {
-				if err := machine.runRow(s, []mm.Algorithm{hy}); err != nil {
+				if err := joinRow(machine.runRow(s, []mm.Algorithm{hy})); err != nil {
 					return nil, err
 				}
 				hyc = hy.Costs()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -103,7 +104,7 @@ func TestForEach(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errTest {
+	if !errors.Is(err, errTest) {
 		t.Fatalf("err = %v", err)
 	}
 	// n=0 must not hang.

@@ -153,7 +153,7 @@ func Adaptive(s Scale, seed uint64) (*Table, error) {
 	// chunk in place (the notes columns need the live objects, so these
 	// cells bypass the result cache).
 	algos := []mm.Algorithm{small, fixed, thp, sp, he, z, hy}
-	if err := machine.runRow(s, algos); err != nil {
+	if err := joinRow(machine.runRow(s, algos)); err != nil {
 		return nil, err
 	}
 
@@ -220,7 +220,7 @@ func Nested(s Scale, seed uint64) (*Table, error) {
 	}
 	// One streaming row for the flat baseline and every split (the
 	// nested-walk-reference column needs the live objects, so no cache).
-	if err := machine.runRow(s, sims); err != nil {
+	if err := joinRow(machine.runRow(s, sims)); err != nil {
 		return nil, err
 	}
 	fc := flat.Costs()

@@ -172,10 +172,19 @@ func Fig1(w Fig1Workload, s Scale, seed uint64) (*Table, error) {
 		simIdx = append(simIdx, i)
 		simKeys = append(simKeys, key)
 	}
-	if err := machine.runRow(s, sims); err != nil {
+	cellErrs, err := machine.runRow(s, sims)
+	if err != nil {
 		return nil, err
 	}
+	// A poisoned cell (panic in one simulator, injected or real) degrades
+	// to a footnoted "error" row; its counters never reach the cache, so
+	// a later run recomputes it.
+	failed := make([]error, len(hs))
 	for j, a := range sims {
+		if cellErrs[j] != nil {
+			failed[simIdx[j]] = cellErrs[j]
+			continue
+		}
 		c := a.Costs()
 		costs[simIdx[j]] = c
 		s.cachePut(simKeys[j], c)
@@ -189,6 +198,11 @@ func Fig1(w Fig1Workload, s Scale, seed uint64) (*Table, error) {
 		Columns: []string{"huge_page_size", "ios", "tlb_misses", "total_cost_eps0.01"},
 	}
 	for i, h := range hs {
+		if failed[i] != nil {
+			t.AddRow(h, "error", "error", "error")
+			t.AddNote("cell h=%d failed: %v", h, failed[i])
+			continue
+		}
 		c := costs[i]
 		if c.IOs == ^uint64(0) {
 			t.AddRow(h, "saturated", "saturated", "saturated")

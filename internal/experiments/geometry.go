@@ -63,13 +63,15 @@ func TLBGeometryStudy(s Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		results[i].fits = s.runWarm("e9-fits", a, fitsWarm, fitsMeas)
+		if results[i].fits, err = s.runWarm("e9-fits", a, fitsWarm, fitsMeas); err != nil {
+			return err
+		}
 		b, err := mm.NewGeometry(variants[i].cfg)
 		if err != nil {
 			return err
 		}
-		results[i].thrash = s.runWarm("e9-thrash", b, thrashWarm, thrashMeas)
-		return nil
+		results[i].thrash, err = s.runWarm("e9-thrash", b, thrashWarm, thrashMeas)
+		return err
 	}); err != nil {
 		return nil, err
 	}

@@ -91,8 +91,9 @@ func Related(s Scale, seed uint64) (*Table, error) {
 	algos := []mm.Algorithm{plain, co, ds, z}
 	costs := make([]mm.Costs, len(algos))
 	if err := forEach(len(algos), func(i int) error {
-		costs[i] = s.runWarm("e7-mixed", algos[i], warm, meas)
-		return nil
+		var err error
+		costs[i], err = s.runWarm("e7-mixed", algos[i], warm, meas)
+		return err
 	}); err != nil {
 		return nil, err
 	}

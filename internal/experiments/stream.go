@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"addrxlat/internal/faultinject"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/workload"
 )
@@ -80,43 +82,58 @@ func (m *fig1Machine) cellKey(s Scale, seed uint64, alg string) string {
 // sims instead of materializing the windows per cell. Workers bounds the
 // concurrent (row, algorithm) tasks per chunk. Callers read the finished
 // counters back with sims[i].Costs().
-func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) error {
+//
+// Fault tolerance: a panic while servicing one simulator (a bug in that
+// algorithm, or an injected cell-panic) poisons only that cell — its
+// error lands in cellErrs[i], the simulator is dropped from the row, and
+// the remaining cells keep consuming the stream. The second return value
+// is fatal for the whole row: a generator failure, or the sweep context
+// being canceled at a chunk boundary (errors.Is(err, context.Canceled)).
+// Callers whose tables cannot degrade per cell collapse both with
+// joinRow; Fig1 and Crossover render poisoned cells as footnoted error
+// rows instead.
+func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, err error) {
+	cellErrs = make([]error, len(sims))
 	if len(sims) == 0 {
-		return nil
+		return cellErrs, nil
 	}
 	gen, err := m.newGen()
 	if err != nil {
-		return err
+		return cellErrs, err
 	}
 	// Simulator names are resolved once per row: the probe hook needs
-	// them per chunk, and Name() formats.
+	// them per chunk (and the fault-injection matcher per cell), and
+	// Name() formats.
 	var names []string
-	if s.Probe != nil {
+	if s.Probe != nil || faultinject.Armed() {
 		names = make([]string, len(sims))
 		for i, a := range sims {
 			names[i] = a.Name()
 		}
 	}
-	if err := m.window(s, gen, m.warmupN, sims, names, mm.PhaseWarmup); err != nil {
-		return err
+	if err := m.window(s, gen, m.warmupN, sims, cellErrs, names, mm.PhaseWarmup); err != nil {
+		return cellErrs, err
 	}
-	for _, a := range sims {
-		a.ResetCosts()
+	for i, a := range sims {
+		if cellErrs[i] == nil {
+			a.ResetCosts()
+		}
 	}
-	return m.window(s, gen, m.measuredN, sims, names, mm.PhaseMeasured)
+	return cellErrs, m.window(s, gen, m.measuredN, sims, cellErrs, names, mm.PhaseMeasured)
 }
 
 // window streams one phase of the row and, with a probe attached, reports
 // the phase's access count and wall time when it completes.
-func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, names []string, phase string) error {
+func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, cellErrs []error, names []string, phase string) error {
+	row := string(m.workload)
 	if s.Probe == nil {
-		return streamWindow(s, gen, n, sims, nil, "", "")
+		return streamWindow(s, gen, n, sims, cellErrs, names, row, phase)
 	}
 	start := time.Now()
-	if err := streamWindow(s, gen, n, sims, names, string(m.workload), phase); err != nil {
+	if err := streamWindow(s, gen, n, sims, cellErrs, names, row, phase); err != nil {
 		return err
 	}
-	s.Probe.RowPhase(string(m.workload), phase, "", n, time.Since(start))
+	s.Probe.RowPhase(row, phase, "", n, time.Since(start))
 	return nil
 }
 
@@ -124,36 +141,77 @@ func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.A
 // chunk through a double-buffered Source, so generation overlaps the
 // previous chunk's simulation. Window boundaries get their own Source:
 // chunks never straddle the warmup/measured counter reset. With a probe
-// attached (names non-nil), each sim's cumulative counters are sampled
-// after it finishes each chunk — between AccessBatch calls, so the access
-// hot path never sees the probe.
-func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, names []string, row, phase string) error {
+// attached, each sim's cumulative counters are sampled after it finishes
+// each chunk — between AccessBatch calls, so the access hot path never
+// sees the probe.
+//
+// Between chunks the window checks the sweep context (cooperative
+// cancellation) and the sweep-kill fault point (crash simulation for the
+// resume tests). A per-sim panic is recovered into cellErrs[i]; the sim
+// is excluded from all later chunks of the row.
+func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, cellErrs []error, names []string, row, phase string) error {
+	ctx := s.context()
 	src, err := workload.NewSource(gen, streamChunk, n)
 	if err != nil {
 		return err
 	}
 	defer src.Stop()
-	for {
-		chunk, ok := src.Next()
+	live := make([]int, 0, len(sims))
+	var chunk []uint64
+	for chunkIdx := 0; ; chunkIdx++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiments: row %s canceled at a %s chunk boundary: %w", row, phase, err)
+		}
+		if faultinject.Armed() && faultinject.Fire(faultinject.SweepKill, row) {
+			faultinject.Kill(fmt.Sprintf("row %s, %s chunk %d", row, phase, chunkIdx))
+		}
+		var ok bool
+		chunk, ok = src.Next()
 		if !ok {
 			return nil
 		}
-		if len(sims) == 1 {
-			accessAll(sims[0], chunk)
-			if names != nil {
-				s.Probe.RowSample(row, phase, names[0], sims[0].Costs())
+		live = live[:0]
+		for i := range sims {
+			if cellErrs[i] == nil {
+				live = append(live, i)
 			}
-		} else if err := s.forEach(len(sims), func(i int) error {
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		serve := func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					cellErrs[i] = fmt.Errorf("experiments: cell %s|%s panicked: %v", row, sims[i].Name(), r)
+				}
+			}()
+			if names != nil && faultinject.Armed() &&
+				faultinject.Fire(faultinject.CellPanic, row+"|"+names[i]) {
+				panic("injected cell fault")
+			}
 			accessAll(sims[i], chunk)
-			if names != nil {
+			if s.Probe != nil {
 				s.Probe.RowSample(row, phase, names[i], sims[i].Costs())
 			}
+		}
+		if len(live) == 1 {
+			serve(live[0])
+		} else if err := s.forEach(len(live), func(j int) error {
+			// serve recovers panics into cellErrs (distinct indices, so no
+			// races); only a canceled context can surface an error here.
+			serve(live[j])
 			return nil
 		}); err != nil {
-			return err
+			return fmt.Errorf("experiments: row %s canceled during a %s chunk: %w", row, phase, err)
 		}
 		src.Recycle(chunk)
 	}
+}
+
+// joinRow collapses runRow's per-cell errors and row-fatal error into a
+// single error, for experiments whose tables cannot degrade cell by cell.
+func joinRow(cellErrs []error, err error) error {
+	return errors.Join(append([]error{err}, cellErrs...)...)
 }
 
 // probeSampler adapts a Probe to mm.Sampler under a fixed row label, for
@@ -167,26 +225,34 @@ func (ps probeSampler) Sample(phase, alg string, c mm.Costs) {
 	ps.p.RowSample(ps.row, phase, alg, c)
 }
 
-// runWarm is mm.RunWarm with the scale's telemetry attached: with a probe
-// it runs both windows through mm.RunPhaseSampled at the stream chunk
-// granularity, reporting per-phase samples and wall times under the given
-// row label; without one it is exactly mm.RunWarm. Either way the final
-// counters are identical (chunking an AccessBatch changes no state
-// transitions — pinned by TestSampledRunsByteIdentical).
-func (s Scale) runWarm(row string, a mm.Algorithm, warmup, measured []uint64) mm.Costs {
+// runWarm is mm.RunWarm with the scale's telemetry and cancellation
+// attached: with a probe it runs both windows through the sampled runner
+// at the stream chunk granularity, reporting per-phase samples and wall
+// times under the given row label; without one it is mm.RunWarmCtx. The
+// final counters are identical either way (chunking an AccessBatch
+// changes no state transitions — pinned by TestSampledRunsByteIdentical).
+// A canceled sweep context stops the run at a chunk boundary and returns
+// the context's error.
+func (s Scale) runWarm(row string, a mm.Algorithm, warmup, measured []uint64) (mm.Costs, error) {
+	ctx := s.context()
 	if s.Probe == nil {
-		return mm.RunWarm(a, warmup, measured)
+		return mm.RunWarmCtx(ctx, a, warmup, measured)
 	}
 	name := a.Name()
 	ps := probeSampler{row: row, p: s.Probe}
 	start := time.Now()
-	mm.RunPhaseSampled(a, warmup, streamChunk, ps, mm.PhaseWarmup)
+	if _, err := mm.RunPhaseSampledCtx(ctx, a, warmup, streamChunk, ps, mm.PhaseWarmup); err != nil {
+		return a.Costs(), err
+	}
 	s.Probe.RowPhase(row, mm.PhaseWarmup, name, len(warmup), time.Since(start))
 	a.ResetCosts()
 	start = time.Now()
-	c := mm.RunPhaseSampled(a, measured, streamChunk, ps, mm.PhaseMeasured)
+	c, err := mm.RunPhaseSampledCtx(ctx, a, measured, streamChunk, ps, mm.PhaseMeasured)
+	if err != nil {
+		return c, err
+	}
 	s.Probe.RowPhase(row, mm.PhaseMeasured, name, len(measured), time.Since(start))
-	return c
+	return c, nil
 }
 
 // accessAll services one chunk on one simulator, batched when possible.

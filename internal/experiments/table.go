@@ -23,6 +23,12 @@ type Table struct {
 	Caption string
 	Columns []string
 	Rows    [][]string
+	// Notes are per-table footnotes — a degraded run's explanation of
+	// cells it could not compute (poisoned cells render as "error" rows
+	// and leave a note here). WriteTSV renders each as a trailing
+	// "# note:" comment line; a clean table has none and its output is
+	// byte-identical to the pre-Notes format.
+	Notes []string
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -39,6 +45,11 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
+// AddNote appends a formatted footnote (see Notes).
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
 // WriteTSV renders the table as tab-separated values with a header.
 func (t *Table) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.Name, t.Caption); err != nil {
@@ -49,6 +60,11 @@ func (t *Table) WriteTSV(w io.Writer) error {
 	}
 	for _, row := range t.Rows {
 		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", note); err != nil {
 			return err
 		}
 	}

@@ -270,7 +270,7 @@ func Theorem4(s Scale, seed uint64) (*Table, error) {
 		// bounds below are the one consumer that genuinely needs the
 		// materialized windows.
 		algos := []mm.Algorithm{z, x, y, base1, baseH}
-		if err := machine.runRow(s, algos); err != nil {
+		if err := joinRow(machine.runRow(s, algos)); err != nil {
 			return nil, err
 		}
 		for _, a := range algos {
@@ -405,7 +405,7 @@ func Hybrid(s Scale, seed uint64) (*Table, error) {
 		hybrids[i] = h
 		sims[i] = h
 	}
-	if err := machine.runRow(s, sims); err != nil {
+	if err := joinRow(machine.runRow(s, sims)); err != nil {
 		return nil, err
 	}
 	for i, g := range groups {

@@ -56,7 +56,7 @@ func TimeShare(s Scale, seed uint64) (*Table, error) {
 
 	// One streaming row: all three simulators share each generated chunk.
 	algos := []mm.Algorithm{h1, z, hy}
-	if err := machine.runRow(s, algos); err != nil {
+	if err := joinRow(machine.runRow(s, algos)); err != nil {
 		return nil, err
 	}
 	costs := make([]mm.Costs, len(algos))

@@ -1,0 +1,170 @@
+// Package faultinject arms deliberate failures at named points in the
+// sweep stack, so the recovery paths (cell quarantine, kill-and-resume,
+// corrupt-trace rejection) can be proven by tests and smoke jobs instead
+// of waiting for production to exercise them.
+//
+// It is off by default and designed to vanish when disarmed: every hook
+// site guards with Armed(), a single atomic load, before doing any work —
+// the hot paths (chunk loops, cache writes) pay one predictable branch.
+// Hooks only ever live at chunk/row/IO granularity, never inside the
+// per-access loop.
+//
+// A fault plan is a comma-separated list of rules:
+//
+//	point[=match][@n]
+//
+// where point is one of the Point constants, match is a substring the
+// hook's key must contain (empty matches everything), and @n restricts
+// the rule to the n-th matching hit (1-based; without @n every matching
+// hit fires). Examples:
+//
+//	cell-panic=hugepage(h=64          panic the h=64 cell of every row
+//	sweep-kill=f1a@3                  kill the process at f1a's 3rd chunk
+//	cache-truncate                    truncate every result-cache write
+//	trace-corrupt@1                   corrupt the first trace written
+//
+// Processes arm the plan from the ADDRXLAT_FAULTS environment variable
+// (ArmFromEnv, called by the CLIs); tests arm programmatically with Arm
+// and must Disarm when done.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The fault points the sweep stack exposes.
+const (
+	// CellPanic panics one simulator's task inside a streaming row; the
+	// key is "row|simname". Proves per-cell quarantine: the poisoned
+	// parameter point must become a table footnote, not a dead sweep.
+	CellPanic = "cell-panic"
+	// SweepKill terminates the process (exit code 137, like SIGKILL) at a
+	// chunk boundary of a streaming row; the key is the row name. Proves
+	// checkpoint/resume: nothing is flushed, exactly like a real kill.
+	SweepKill = "sweep-kill"
+	// CacheTruncate truncates a result-cache entry as it is written; the
+	// key is the cell key. Proves corruption quarantine on read-back.
+	CacheTruncate = "cache-truncate"
+	// TraceCorrupt flips a byte of a trace stream as it is encoded; the
+	// key is empty. Proves the replay CRC rejects silent corruption.
+	TraceCorrupt = "trace-corrupt"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads the plan from.
+const EnvVar = "ADDRXLAT_FAULTS"
+
+// KillExitCode is the exit code Kill terminates with — 137, the shell's
+// code for SIGKILL, so smoke jobs can assert the crash looked real.
+const KillExitCode = 137
+
+type rule struct {
+	point string
+	match string
+	nth   int64 // 0 = every matching hit
+	hits  atomic.Int64
+}
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	rules []*rule
+)
+
+// Armed reports whether any fault plan is active. It is the only call
+// allowed on hot-ish paths: one atomic load, false for every production
+// run.
+func Armed() bool { return armed.Load() }
+
+// Arm installs a fault plan, replacing any previous one. An empty spec
+// disarms.
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disarm()
+		return nil
+	}
+	var rs []*rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r := &rule{}
+		if at := strings.LastIndex(part, "@"); at >= 0 {
+			n, err := strconv.ParseInt(part[at+1:], 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultinject: bad hit index in rule %q", part)
+			}
+			r.nth = n
+			part = part[:at]
+		}
+		if eq := strings.Index(part, "="); eq >= 0 {
+			r.point, r.match = part[:eq], part[eq+1:]
+		} else {
+			r.point = part
+		}
+		switch r.point {
+		case CellPanic, SweepKill, CacheTruncate, TraceCorrupt:
+		default:
+			return fmt.Errorf("faultinject: unknown fault point %q", r.point)
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		Disarm()
+		return nil
+	}
+	mu.Lock()
+	rules = rs
+	mu.Unlock()
+	armed.Store(true)
+	return nil
+}
+
+// ArmFromEnv arms the plan in $ADDRXLAT_FAULTS, if set. CLIs call it once
+// at startup; library code never reads the environment on its own.
+func ArmFromEnv() error { return Arm(os.Getenv(EnvVar)) }
+
+// Disarm removes the fault plan; Armed and Fire return false afterwards.
+func Disarm() {
+	armed.Store(false)
+	mu.Lock()
+	rules = nil
+	mu.Unlock()
+}
+
+// Fire reports whether a fault armed at point should trigger for key.
+// Callers must guard with Armed() first; Fire itself is concurrency-safe
+// (sweep workers hit it in parallel) but takes a lock, which Armed keeps
+// off the disarmed path.
+func Fire(point, key string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range rules {
+		if r.point != point || !strings.Contains(key, r.match) {
+			continue
+		}
+		n := r.hits.Add(1)
+		if r.nth == 0 || n == r.nth {
+			return true
+		}
+	}
+	return false
+}
+
+// Kill terminates the process with KillExitCode, printing where the
+// armed kill struck. Nothing is flushed — that is the point: the process
+// dies exactly as abruptly as a SIGKILL, so resume paths are tested
+// against a worst-case crash.
+func Kill(where string) {
+	fmt.Fprintf(os.Stderr, "faultinject: sweep-kill at %s\n", where)
+	os.Exit(KillExitCode)
+}

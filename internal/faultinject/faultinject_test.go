@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedByDefault(t *testing.T) {
+	if Armed() {
+		t.Fatal("fresh package must be disarmed")
+	}
+	if Fire(CellPanic, "anything") {
+		t.Fatal("disarmed Fire must never trigger")
+	}
+}
+
+func TestArmMatchAndDisarm(t *testing.T) {
+	defer Disarm()
+	if err := Arm("cell-panic=hugepage(h=64"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("Armed() = false after Arm")
+	}
+	if Fire(CellPanic, "f1a|hugepage(h=32,lru/lru)") {
+		t.Fatal("non-matching key fired")
+	}
+	if Fire(SweepKill, "f1a|hugepage(h=64,lru/lru)") {
+		t.Fatal("wrong point fired")
+	}
+	if !Fire(CellPanic, "f1a|hugepage(h=64,lru/lru)") {
+		t.Fatal("matching key did not fire")
+	}
+	if !Fire(CellPanic, "f1b|hugepage(h=64,lru/lru)") {
+		t.Fatal("rule without @n must fire on every matching hit")
+	}
+	Disarm()
+	if Armed() || Fire(CellPanic, "f1a|hugepage(h=64,lru/lru)") {
+		t.Fatal("Disarm did not stick")
+	}
+}
+
+func TestNthHitOnly(t *testing.T) {
+	defer Disarm()
+	if err := Arm("sweep-kill=f1a@3"); err != nil {
+		t.Fatal(err)
+	}
+	got := []bool{
+		Fire(SweepKill, "f1a-bimodal"),
+		Fire(SweepKill, "f1b-graphwalk"), // no match: must not consume a hit
+		Fire(SweepKill, "f1a-bimodal"),
+		Fire(SweepKill, "f1a-bimodal"),
+		Fire(SweepKill, "f1a-bimodal"),
+	}
+	want := []bool{false, false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestMultipleRules(t *testing.T) {
+	defer Disarm()
+	if err := Arm("cache-truncate, trace-corrupt@1"); err != nil {
+		t.Fatal(err)
+	}
+	if !Fire(CacheTruncate, "cell|epoch=1|w=f1a") {
+		t.Fatal("bare point must match every key")
+	}
+	if !Fire(TraceCorrupt, "") || Fire(TraceCorrupt, "") {
+		t.Fatal("@1 must fire exactly once")
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	defer Disarm()
+	for _, spec := range []string{"explode", "cell-panic@0", "cell-panic@x"} {
+		if err := Arm(spec); err == nil {
+			t.Fatalf("Arm(%q) accepted", spec)
+		}
+	}
+	if err := Arm("   "); err != nil || Armed() {
+		t.Fatal("blank spec must disarm cleanly")
+	}
+}
+
+func TestFireConcurrent(t *testing.T) {
+	defer Disarm()
+	if err := Arm("cell-panic=x@50"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Fire(CellPanic, "x") {
+					fired.Store(g*1000+i, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("@50 fired %d times across goroutines, want exactly 1", n)
+	}
+}

@@ -1,0 +1,158 @@
+// Package journal persists sweep progress as an append-only record file,
+// so a killed run can be resumed without redoing finished work and
+// without trusting anything that was in memory when the process died.
+//
+// A journal is a JSON-lines file under the results directory, written
+// alongside the run manifest. Two record types are appended as the sweep
+// progresses:
+//
+//   - cell: one simulation cell finished and entered the result cache,
+//     identified by its content-address key (the same canonical key the
+//     resultcache hashes — see EXPERIMENTS.md);
+//   - experiment: one experiment's table was fully rendered and emitted.
+//
+// Every record carries a CRC-32C over its payload. Load skips records
+// that fail the checksum or do not parse — a process killed mid-append
+// leaves at most one torn final line, which is ignored rather than
+// poisoning the resume. Records are flushed to the OS per append, so a
+// SIGKILL loses at most the record being written.
+//
+// Resume semantics: completed experiments are skipped outright (their
+// output files already exist); the interrupted experiment is re-run, and
+// its finished cells are answered by the result cache, which the journal
+// only witnesses — the cache remains the source of truth for cell data,
+// the journal for sweep progress.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record types.
+const (
+	TypeCell       = "cell"
+	TypeExperiment = "experiment"
+)
+
+// Record is one journal line.
+type Record struct {
+	Type string `json:"type"`          // TypeCell or TypeExperiment
+	ID   string `json:"id,omitempty"`  // experiment id (TypeExperiment)
+	Key  string `json:"key,omitempty"` // cell content-address key (TypeCell)
+	CRC  uint32 `json:"crc"`           // CRC-32C over "type|id|key"
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func (r Record) sum() uint32 {
+	return crc32.Checksum([]byte(r.Type+"|"+r.ID+"|"+r.Key), crcTable)
+}
+
+// Writer appends records to a journal file. Safe for concurrent use —
+// sweep workers witness cells from multiple goroutines.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Create opens (creating or appending to) the journal at path, creating
+// parent directories as needed.
+func Create(path string) (*Writer, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// append marshals and writes one checksummed record.
+func (w *Writer) append(r Record) error {
+	r.CRC = r.sum()
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Cell records that the cell with the given content-address key finished
+// and was offered to the result cache.
+func (w *Writer) Cell(key string) error {
+	return w.append(Record{Type: TypeCell, Key: key})
+}
+
+// Experiment records that the experiment's table was fully emitted.
+func (w *Writer) Experiment(id string) error {
+	return w.append(Record{Type: TypeExperiment, ID: id})
+}
+
+// Close closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// State is the replayed content of a journal.
+type State struct {
+	Experiments map[string]bool // fully emitted experiment ids
+	Cells       map[string]bool // witnessed cell keys
+	Skipped     int             // torn or checksum-failing lines ignored
+}
+
+// Load replays the journal at path. Unparsable or checksum-failing lines
+// are counted in Skipped and otherwise ignored, so a journal torn by a
+// crash still resumes.
+func Load(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	st := &State{
+		Experiments: make(map[string]bool),
+		Cells:       make(map[string]bool),
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.CRC != r.sum() {
+			st.Skipped++
+			continue
+		}
+		switch r.Type {
+		case TypeCell:
+			st.Cells[r.Key] = true
+		case TypeExperiment:
+			st.Experiments[r.ID] = true
+		default:
+			st.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return st, nil
+}

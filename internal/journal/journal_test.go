@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cell("cell|epoch=1|w=f1a|alg=hugepage(h=1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cell("cell|epoch=1|w=f1a|alg=hugepage(h=2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Experiment("f1a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Experiments["f1a"] || st.Experiments["f1b"] {
+		t.Fatalf("experiments = %v", st.Experiments)
+	}
+	if len(st.Cells) != 2 || !st.Cells["cell|epoch=1|w=f1a|alg=hugepage(h=2)"] {
+		t.Fatalf("cells = %v", st.Cells)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("skipped %d lines of a clean journal", st.Skipped)
+	}
+}
+
+// TestTornTailIgnored simulates a crash mid-append: a truncated final line
+// must be skipped, not fail the load or corrupt the state.
+func TestTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Experiment("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append half a record, as a SIGKILL mid-write would leave.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"experiment","id":"f1`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Experiments["t1"] || len(st.Experiments) != 1 {
+		t.Fatalf("experiments = %v", st.Experiments)
+	}
+	if st.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 torn line", st.Skipped)
+	}
+}
+
+// TestChecksumRejectsTampering verifies a record whose payload was edited
+// after the fact (checksum stale) is ignored.
+func TestChecksumRejectsTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Experiment("f1a"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte{}, data...)
+	for i := 0; i+5 <= len(tampered); i++ {
+		if string(tampered[i:i+5]) == `"f1a"` {
+			tampered[i+2] = '9' // f1a -> f9a without updating crc
+			break
+		}
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Experiments) != 0 || st.Skipped != 1 {
+		t.Fatalf("tampered record accepted: %v skipped=%d", st.Experiments, st.Skipped)
+	}
+}
+
+// TestAppendResume verifies Create on an existing journal appends rather
+// than truncates — a resumed run extends the same progress record.
+func TestAppendResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, _ := Create(path)
+	w.Experiment("t1")
+	w.Close()
+	w2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Experiment("f1a")
+	w2.Close()
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Experiments["t1"] || !st.Experiments["f1a"] {
+		t.Fatalf("experiments = %v", st.Experiments)
+	}
+}
+
+// TestConcurrentCells appends cells from several goroutines (the sweep
+// worker shape) and verifies none are lost or torn.
+func TestConcurrentCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := w.Cell(string(rune('a'+g)) + "|" + string(rune('0'+i%10))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Close()
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("%d torn lines from concurrent appends", st.Skipped)
+	}
+	if len(st.Cells) != 4*10 {
+		t.Fatalf("distinct cells = %d, want 40", len(st.Cells))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("Load of a missing journal must error")
+	}
+}

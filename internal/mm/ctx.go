@@ -1,0 +1,68 @@
+package mm
+
+import "context"
+
+// cancelChunk is the request granularity the context-aware runners check
+// cancellation at when no sampling interval is set: large enough that the
+// per-chunk ctx.Err() load is noise against 65536 simulated accesses,
+// small enough that a SIGINT drains within microseconds of work.
+const cancelChunk = 1 << 16
+
+// RunWarmCtx is RunWarm with cooperative cancellation: both windows are
+// serviced in cancelChunk pieces with a context check between pieces, so
+// a canceled sweep stops at a chunk boundary instead of finishing a
+// multi-million-access window. By the Batcher contract the chunking
+// changes no counters; on cancellation the partial counters accumulated
+// so far are returned along with the context's error.
+func RunWarmCtx(ctx context.Context, a Algorithm, warmup, measured []uint64) (Costs, error) {
+	if err := runPhaseCtx(ctx, a, warmup, cancelChunk, nil, PhaseWarmup, ""); err != nil {
+		return a.Costs(), err
+	}
+	a.ResetCosts()
+	return RunPhaseSampledCtx(ctx, a, measured, 0, nil, PhaseMeasured)
+}
+
+// RunPhaseSampledCtx is RunPhaseSampled with cooperative cancellation:
+// the context is checked before every interval (falling back to
+// cancelChunk-sized intervals when no sampler is attached), and the
+// phase stops at that boundary with the context's error.
+func RunPhaseSampledCtx(ctx context.Context, a Algorithm, requests []uint64, every int, s Sampler, phase string) (Costs, error) {
+	if s == nil || every <= 0 {
+		s, every = nil, cancelChunk
+	}
+	name := ""
+	if s != nil {
+		name = a.Name()
+	}
+	if err := runPhaseCtx(ctx, a, requests, every, s, phase, name); err != nil {
+		return a.Costs(), err
+	}
+	return a.Costs(), nil
+}
+
+// runPhaseCtx is runPhase with a context check before each interval. A
+// nil sampler disables sampling but keeps the chunked cancellation.
+func runPhaseCtx(ctx context.Context, a Algorithm, requests []uint64, every int, s Sampler, phase, name string) error {
+	b, isBatcher := a.(Batcher)
+	for len(requests) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := every
+		if len(requests) < n {
+			n = len(requests)
+		}
+		if isBatcher {
+			b.AccessBatch(requests[:n])
+		} else {
+			for _, v := range requests[:n] {
+				a.Access(v)
+			}
+		}
+		if s != nil {
+			s.Sample(phase, name, a.Costs())
+		}
+		requests = requests[n:]
+	}
+	return nil
+}

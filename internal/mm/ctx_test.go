@@ -1,0 +1,58 @@
+package mm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunWarmCtxMatchesRunWarm pins the cancellation runners' counter
+// guarantee: with a live context they are byte-identical to the plain
+// runners for every Algorithm implementation, despite the chunked
+// feeding.
+func TestRunWarmCtxMatchesRunWarm(t *testing.T) {
+	reqs := sampleReqs(40000)
+	warm, meas := reqs[:20000], reqs[20000:]
+	plain := allAlgorithms(t, 3)
+	chunked := allAlgorithms(t, 3)
+	for i := range plain {
+		want := RunWarm(plain[i], warm, meas)
+		got, err := RunWarmCtx(context.Background(), chunked[i], warm, meas)
+		if err != nil {
+			t.Fatalf("%s: %v", plain[i].Name(), err)
+		}
+		if got != want {
+			t.Errorf("%s: ctx run differs: got %v want %v", plain[i].Name(), got, want)
+		}
+	}
+}
+
+// TestRunWarmCtxCanceled verifies a canceled context stops the run at a
+// chunk boundary with partial counters and the context's error.
+func TestRunWarmCtxCanceled(t *testing.T) {
+	reqs := sampleReqs(10000)
+	a := allAlgorithms(t, 1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := RunWarmCtx(ctx, a, reqs, reqs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Accesses != 0 {
+		t.Fatalf("pre-canceled run serviced %d accesses", c.Accesses)
+	}
+}
+
+// TestRunPhaseSampledCtxSamples verifies sampling still fires at the
+// requested interval under the ctx-aware runner.
+func TestRunPhaseSampledCtxSamples(t *testing.T) {
+	reqs := sampleReqs(10000)
+	a := allAlgorithms(t, 1)[0]
+	s := &collectSampler{}
+	if _, err := RunPhaseSampledCtx(context.Background(), a, reqs, 1000, s, PhaseMeasured); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.costs) != 10 {
+		t.Fatalf("got %d samples, want 10", len(s.costs))
+	}
+}

@@ -24,14 +24,19 @@ type PhaseRecord struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// CacheStats summarizes result-cache traffic for a manifest.
+// CacheStats summarizes result-cache traffic for a manifest. Corrupt
+// counts entries that failed verification on read and were quarantined
+// (see resultcache).
 type CacheStats struct {
-	Dir    string `json:"dir,omitempty"`
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Dir     string `json:"dir,omitempty"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt,omitempty"`
 }
 
 // RunRecord is one experiment (or standalone simulation) in a manifest.
+// Skipped marks an experiment a resumed run did not re-execute because
+// the sweep journal recorded it complete.
 type RunRecord struct {
 	ID          string        `json:"id"`
 	Table       string        `json:"table,omitempty"`
@@ -39,6 +44,7 @@ type RunRecord struct {
 	WallSeconds float64       `json:"wall_seconds"`
 	CacheHits   uint64        `json:"cache_hits,omitempty"`
 	CacheMisses uint64        `json:"cache_misses,omitempty"`
+	Skipped     bool          `json:"skipped,omitempty"`
 	Phases      []PhaseRecord `json:"phases,omitempty"`
 }
 
@@ -58,6 +64,16 @@ type Manifest struct {
 	GitDirty    bool              `json:"git_dirty,omitempty"`
 	Start       time.Time         `json:"start"`
 	WallSeconds float64           `json:"wall_seconds"`
+	// Status tracks the run's lifecycle: "running" (written at start so a
+	// crash leaves evidence), then "ok", "canceled", or "failed". Partial
+	// marks any manifest whose run did not complete cleanly; a partial
+	// manifest is the input to `figures -resume`.
+	Status      string            `json:"status,omitempty"`
+	Partial     bool              `json:"partial,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	// Journal is the path of the sweep journal witnessing per-cell and
+	// per-experiment completion for this run (see internal/journal).
+	Journal     string            `json:"journal,omitempty"`
 	Experiments []RunRecord       `json:"experiments,omitempty"`
 	Cache       *CacheStats       `json:"cache,omitempty"`
 }
@@ -98,9 +114,30 @@ func (m *Manifest) Finish() {
 
 // Filename returns the manifest's canonical file name,
 // manifest-<command>-<startUTC>.json — one file per invocation, so a
-// results directory accumulates a run log.
+// results directory accumulates a run log. The name is stable across a
+// run's lifetime: the start-of-run "running" write and the final write
+// land in the same file.
 func (m *Manifest) Filename() string {
 	return fmt.Sprintf("manifest-%s-%s.json", m.Command, m.Start.UTC().Format("20060102T150405Z"))
+}
+
+// JournalFilename returns the canonical name of the run's sweep journal,
+// derived the same way as Filename so the pair sorts together.
+func (m *Manifest) JournalFilename() string {
+	return fmt.Sprintf("journal-%s-%s.jsonl", m.Command, m.Start.UTC().Format("20060102T150405Z"))
+}
+
+// LoadManifest reads a manifest written by Write, for `-resume`.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return &m, nil
 }
 
 // Write renders the manifest as indented JSON into dir (created if

@@ -9,16 +9,29 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
 // ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
-// (workers ≤ 0 means GOMAXPROCS). It returns the error from the
-// lowest-indexed failing task, after all tasks have finished — partial
-// sweeps are never silently reported as complete.
+// (workers ≤ 0 means GOMAXPROCS). Every task runs to completion and the
+// returned error aggregates every failing task's error (errors.Join, in
+// index order) — partial sweeps are never silently reported as complete,
+// and no failure is shadowed by a lower-indexed one.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// workers finish the task they are on but pull no new ones, so a SIGINT
+// drains the sweep at task boundaries instead of abandoning running
+// simulations mid-state. The context error (if any) is joined with the
+// task errors, so errors.Is(err, context.Canceled) identifies a drained
+// sweep.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -40,17 +53,18 @@ func ForEach(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(append([]error{ctx.Err()}, errs...)...)
 }
 
 // safeCall invokes fn(i), converting a panic into an error so one bad

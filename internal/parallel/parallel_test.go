@@ -1,7 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -49,7 +52,7 @@ func TestForEachDefaultWorkers(t *testing.T) {
 	}
 }
 
-func TestForEachLowestIndexedError(t *testing.T) {
+func TestForEachAggregatesAllErrors(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")
 	err := ForEach(100, 8, func(i int) error {
@@ -61,8 +64,66 @@ func TestForEachLowestIndexedError(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errA {
-		t.Fatalf("err = %v, want lowest-indexed error %v", err, errA)
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want both task errors joined", err)
+	}
+	// Index order: the lower-indexed failure is reported first.
+	if idxA, idxB := strings.Index(err.Error(), "a"), strings.Index(err.Error(), "b"); idxA > idxB {
+		t.Fatalf("errors out of index order: %v", err)
+	}
+}
+
+func TestForEachMultiPanic(t *testing.T) {
+	// Several tasks panic; every panic must survive into the aggregate,
+	// not just the lowest-indexed one.
+	err := ForEach(20, 4, func(i int) error {
+		if i == 3 || i == 11 || i == 17 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("multi-panic sweep reported success")
+	}
+	for _, want := range []string{"task 3 panicked: boom-3", "task 11 panicked: boom-11", "task 17 panicked: boom-17"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregate error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestForEachCtxCancelDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished int64
+	err := ForEachCtx(ctx, 1000, 2, func(i int) error {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			cancel()
+		}
+		atomic.AddInt64(&finished, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started != finished {
+		t.Fatalf("started %d but finished %d: cancellation must drain, not abandon", started, finished)
+	}
+	if finished == 1000 {
+		t.Fatal("cancellation dispatched every task; expected an early stop")
+	}
+}
+
+func TestForEachCtxNilSafeBackground(t *testing.T) {
+	var count int64
+	if err := ForEachCtx(context.Background(), 50, 4, func(int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("ran %d", count)
 	}
 }
 
@@ -111,7 +172,7 @@ func TestMapError(t *testing.T) {
 			return 0, boom
 		}
 		return i, nil
-	}); err != boom {
+	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -137,7 +198,7 @@ func TestReduceError(t *testing.T) {
 	_, err := Reduce(5, 2, 0,
 		func(i int) (int, error) { return 0, boom },
 		func(a, b int) int { return a + b })
-	if err != boom {
+	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 }

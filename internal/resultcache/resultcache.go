@@ -7,8 +7,12 @@
 //
 // Entries are one JSON file per cell under the cache directory, named by
 // the SHA-256 of the canonical key. The full key is stored inside the
-// entry and verified on load, so a (vanishingly unlikely) hash collision
-// or a hand-edited file degrades to a miss, never to wrong numbers.
+// entry along with a CRC-32C over the counters and is verified on load,
+// so a hash collision, a hand-edited file, or a torn/bit-rotted entry
+// degrades to a miss, never to wrong numbers. Entries that fail
+// verification are moved into <dir>/quarantine/ (preserving the evidence
+// for a post-mortem) and recomputed; the corrupt count is surfaced
+// through Stats and the run manifests.
 package resultcache
 
 import (
@@ -16,12 +20,18 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
+	"addrxlat/internal/faultinject"
 	"addrxlat/internal/mm"
 )
+
+// QuarantineDir is the subdirectory of the cache that verification
+// failures are moved into.
+const QuarantineDir = "quarantine"
 
 // Cache is a directory of cached cells. The zero value is unusable; Open
 // it. Get/Put are safe for concurrent use (writes go through an atomic
@@ -29,8 +39,9 @@ import (
 type Cache struct {
 	dir string
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
 }
 
 // Open creates the cache directory if needed and returns the cache.
@@ -44,20 +55,35 @@ func Open(dir string) (*Cache, error) {
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// Stats returns how many Get lookups hit and missed since Open. Safe for
-// concurrent use; sweeps snapshot it per experiment to attribute traffic.
-func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Stats returns how many Get lookups hit, missed, and quarantined a
+// corrupt entry since Open. Safe for concurrent use; sweeps snapshot it
+// per experiment to attribute traffic. Corrupt lookups are also counted
+// as misses (the cell is recomputed either way).
+func (c *Cache) Stats() (hits, misses, corrupt uint64) {
+	return c.hits.Load(), c.misses.Load(), c.corrupt.Load()
 }
 
 // entry is the on-disk cell format. Key keeps the entry self-describing
-// (and guards against collisions); the counters mirror mm.Costs.
+// (and guards against collisions); the counters mirror mm.Costs; CRC is
+// a CRC-32C over the canonical key+counter string, so corruption of any
+// field — including a truncated or bit-flipped file that still parses as
+// JSON — is detected on load.
 type entry struct {
 	Key            string `json:"key"`
 	IOs            uint64 `json:"ios"`
 	TLBMisses      uint64 `json:"tlb_misses"`
 	DecodingMisses uint64 `json:"decoding_misses"`
 	Accesses       uint64 `json:"accesses"`
+	CRC            uint32 `json:"crc"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sum is the entry checksum: CRC-32C over the canonical rendering of the
+// key and counters.
+func (e entry) sum() uint32 {
+	s := fmt.Sprintf("%s|%d|%d|%d|%d", e.Key, e.IOs, e.TLBMisses, e.DecodingMisses, e.Accesses)
+	return crc32.Checksum([]byte(s), crcTable)
 }
 
 // path maps a canonical key to its content-addressed file.
@@ -66,16 +92,20 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
 }
 
-// Get implements experiments.CostCache. Unreadable, unparsable, or
-// mismatched entries are misses.
+// Get implements experiments.CostCache. Unreadable files are misses;
+// unparsable, mismatched, or checksum-failing entries are quarantined
+// misses.
 func (c *Cache) Get(key string) (mm.Costs, bool) {
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
 		return mm.Costs{}, false
 	}
 	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.CRC != e.sum() {
+		c.quarantine(path)
+		c.corrupt.Add(1)
 		c.misses.Add(1)
 		return mm.Costs{}, false
 	}
@@ -88,20 +118,41 @@ func (c *Cache) Get(key string) (mm.Costs, bool) {
 	}, true
 }
 
+// quarantine moves a failed entry into the quarantine subdirectory so it
+// cannot be served again but stays inspectable. Best effort: if the move
+// fails the entry is deleted instead (serving it again would repeat the
+// verification failure forever).
+func (c *Cache) quarantine(path string) {
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			return
+		}
+	}
+	os.Remove(path)
+}
+
 // Put implements experiments.CostCache. The write is atomic (temp file +
 // rename) so concurrent sweeps and interrupted runs never leave a torn
 // entry; failures are silently dropped — a broken cache must not fail an
 // experiment.
 func (c *Cache) Put(key string, costs mm.Costs) {
-	data, err := json.Marshal(entry{
+	e := entry{
 		Key:            key,
 		IOs:            costs.IOs,
 		TLBMisses:      costs.TLBMisses,
 		DecodingMisses: costs.DecodingMisses,
 		Accesses:       costs.Accesses,
-	})
+	}
+	e.CRC = e.sum()
+	data, err := json.Marshal(e)
 	if err != nil {
 		return
+	}
+	if faultinject.Armed() && faultinject.Fire(faultinject.CacheTruncate, key) {
+		// Simulate a torn write (crash mid-write, full disk): the entry
+		// lands truncated and must be quarantined on the next read.
+		data = data[:len(data)/2]
 	}
 	dst := c.path(key)
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")

@@ -2,11 +2,14 @@ package resultcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"addrxlat/internal/experiments"
+	"addrxlat/internal/faultinject"
 	"addrxlat/internal/mm"
 )
 
@@ -31,21 +34,48 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// entryPath returns the single entry file of a fresh cache.
+func entryPath(t *testing.T, c *Cache) string {
+	t.Helper()
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, got %d", len(files))
+	}
+	return filepath.Join(c.Dir(), files[0])
+}
+
+// quarantined returns how many files sit in the quarantine directory.
+func quarantined(t *testing.T, c *Cache) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(c.Dir(), QuarantineDir))
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
 // TestCollisionGuard verifies a file whose stored key disagrees with the
-// lookup key (hash collision, hand-edited entry) reads as a miss.
+// lookup key (hash collision, hand-edited entry) reads as a miss and is
+// quarantined.
 func TestCollisionGuard(t *testing.T) {
 	c, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Put("cell|a", mm.Costs{IOs: 1})
-	// Corrupt the stored key in place.
-	var path string
-	entries, err := os.ReadDir(c.Dir())
-	if err != nil || len(entries) != 1 {
-		t.Fatalf("expected 1 entry, got %d (%v)", len(entries), err)
-	}
-	path = filepath.Join(c.Dir(), entries[0].Name())
+	path := entryPath(t, c)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -62,24 +92,146 @@ func TestCollisionGuard(t *testing.T) {
 	if _, ok := c.Get("cell|a"); ok {
 		t.Fatal("mismatched stored key was served as a hit")
 	}
+	if quarantined(t, c) != 1 {
+		t.Fatal("mismatched entry was not quarantined")
+	}
+}
+
+// TestCorruptEntryQuarantined covers the bit-rot path: an entry whose
+// counters were altered (valid JSON, stale checksum) must quarantine, count
+// as corrupt, and be recomputable via a fresh Put.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mm.Costs{IOs: 42, TLBMisses: 7, Accesses: 100}
+	c.Put("cell|a", want)
+	path := entryPath(t, c)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["ios"] = 9999 // flip a counter without fixing the checksum
+	data, _ = json.Marshal(raw)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("cell|a"); ok {
+		t.Fatal("checksum-failing entry was served as a hit")
+	}
+	if _, _, corrupt := c.Stats(); corrupt != 1 {
+		t.Fatalf("corrupt count = %d, want 1", corrupt)
+	}
+	if quarantined(t, c) != 1 {
+		t.Fatal("corrupt entry was not quarantined")
+	}
+	// The cell is recomputable: a fresh Put serves again.
+	c.Put("cell|a", want)
+	if got, ok := c.Get("cell|a"); !ok || got != want {
+		t.Fatalf("recomputed cell Get = %+v, %v", got, ok)
+	}
+}
+
+// TestTruncatedEntryQuarantined covers the torn-write path via fault
+// injection: a Put truncated mid-write (unparsable JSON) must read back as
+// a quarantined miss, never an error.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	defer faultinject.Disarm()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Arm("cache-truncate=cell|a"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("cell|a", mm.Costs{IOs: 5})
+	faultinject.Disarm()
+	if _, ok := c.Get("cell|a"); ok {
+		t.Fatal("truncated entry was served as a hit")
+	}
+	if _, _, corrupt := c.Stats(); corrupt != 1 {
+		t.Fatalf("corrupt count = %d, want 1", corrupt)
+	}
+	if quarantined(t, c) != 1 {
+		t.Fatal("truncated entry was not quarantined")
+	}
 }
 
 // TestStats checks the hit/miss counters cmd/figures reports at exit:
-// lookups before any Put are misses, lookups after are hits, and
-// corrupted entries count as misses.
+// lookups before any Put are misses, lookups after are hits.
 func TestStats(t *testing.T) {
 	c, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h, m := c.Stats(); h != 0 || m != 0 {
-		t.Fatalf("fresh cache Stats = %d, %d", h, m)
+	if h, m, q := c.Stats(); h != 0 || m != 0 || q != 0 {
+		t.Fatalf("fresh cache Stats = %d, %d, %d", h, m, q)
 	}
 	c.Get("absent")
 	c.Put("cell|a", mm.Costs{IOs: 1})
 	c.Get("cell|a")
 	c.Get("cell|a")
-	if h, m := c.Stats(); h != 2 || m != 1 {
-		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", h, m)
+	if h, m, q := c.Stats(); h != 2 || m != 1 || q != 0 {
+		t.Fatalf("Stats = %d hits, %d misses, %d corrupt; want 2, 1, 0", h, m, q)
+	}
+}
+
+// TestConcurrentOpenReadWrite hammers one cache directory from two
+// goroutines through two independent Cache handles (the same shape as two
+// sweeps sharing results/cache), under -race via the Makefile race target.
+// Every read must be either a clean miss or the exact value some writer
+// put — atomic renames mean torn reads are impossible.
+func TestConcurrentOpenReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 32
+	const rounds = 200
+	value := func(k int) mm.Costs {
+		return mm.Costs{IOs: uint64(k) * 3, TLBMisses: uint64(k) * 5, Accesses: uint64(k) + 1}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Open(dir) // concurrent Open of the same dir
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				k := (r*7 + g*13) % keys
+				key := fmt.Sprintf("cell|%d", k)
+				if got, ok := c.Get(key); ok && got != value(k) {
+					errs <- fmt.Errorf("goroutine %d read torn value %+v for %s", g, got, key)
+					return
+				}
+				c.Put(key, value(k))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles every key must verify.
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("cell|%d", k)
+		if got, ok := c.Get(key); !ok || got != value(k) {
+			t.Fatalf("key %s = %+v, %v after concurrent writes", key, got, ok)
+		}
+	}
+	if _, _, corrupt := c.Stats(); corrupt != 0 {
+		t.Fatalf("concurrent use quarantined %d entries; writes must be atomic", corrupt)
 	}
 }

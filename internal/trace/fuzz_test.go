@@ -9,7 +9,8 @@ import (
 // must either return a valid trace or an error — and any trace it accepts
 // must round-trip back to an equivalent encoding.
 func FuzzRead(f *testing.F) {
-	// Seed corpus: valid traces and near-misses.
+	// Seed corpus: valid traces and near-misses (more live as files under
+	// testdata/fuzz/FuzzRead, including checksum-damaged version-02 inputs).
 	var valid bytes.Buffer
 	_ = Write(&valid, []uint64{1, 2, 3, 1 << 40})
 	f.Add(valid.Bytes())
@@ -17,8 +18,23 @@ func FuzzRead(f *testing.F) {
 	_ = Write(&empty, nil)
 	f.Add(empty.Bytes())
 	f.Add([]byte("ATPTRC01garbage"))
+	f.Add([]byte("ATPTRC02garbage"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Version-02 trace with a flipped payload bit: parses, fails checksum.
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	if len(corrupt) > 17 {
+		corrupt[17] ^= 0x02
+	}
+	f.Add(corrupt)
+	// Version-02 trace with its footer truncated.
+	if len(valid.Bytes()) > 4 {
+		f.Add(valid.Bytes()[:valid.Len()-2])
+	}
+	// Version-01 trace (no footer): the compat path.
+	v1 := append([]byte(nil), valid.Bytes()[:valid.Len()-4]...)
+	v1[7] = '1'
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pages, err := Read(bytes.NewReader(data))

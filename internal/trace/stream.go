@@ -5,26 +5,31 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"addrxlat/internal/faultinject"
 )
 
 // Writer encodes a trace incrementally: the declared access count is
-// written up front (the format is unchanged and fully compatible with
-// Read), then pages arrive in any batching the caller likes and are
-// delta+varint encoded on the fly. Memory is O(1) regardless of trace
-// length — cmd/tracegen records billion-access traces through a Writer
-// without materializing them.
+// written up front, then pages arrive in any batching the caller likes
+// and are delta+varint encoded on the fly, with a running CRC-32C over
+// the page values that Close appends as the file's footer. Memory is O(1)
+// regardless of trace length — cmd/tracegen records billion-access traces
+// through a Writer without materializing them.
 type Writer struct {
 	bw       *bufio.Writer
 	declared uint64
 	written  uint64
 	prev     uint64
+	crc      uint32
+	scratch  []byte // crcPages packing buffer, allocated once
 }
 
 // NewWriter writes the header for a trace of exactly count accesses and
-// returns a Writer for appending them. Close verifies the count.
+// returns a Writer for appending them. Close verifies the count and
+// appends the checksum footer.
 func NewWriter(w io.Writer, count uint64) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
 	var hdr [8]byte
@@ -40,10 +45,17 @@ func (w *Writer) Write(pages []uint64) error {
 	if w.written+uint64(len(pages)) > w.declared {
 		return fmt.Errorf("trace: writing %d accesses past the declared count %d", len(pages), w.declared)
 	}
+	w.crc = crcPages(w.crc, pages, &w.scratch)
 	var buf [binary.MaxVarintLen64]byte
 	prev := w.prev
 	for _, p := range pages {
 		n := binary.PutVarint(buf[:], int64(p)-int64(prev))
+		if faultinject.Armed() && faultinject.Fire(faultinject.TraceCorrupt, "") {
+			// Flip a value bit (not the continuation bit) of the first
+			// delta byte: the stream still parses, but the decoded pages
+			// diverge and the checksum catches it.
+			buf[0] ^= 0x02
+		}
 		if _, err := w.bw.Write(buf[:n]); err != nil {
 			return fmt.Errorf("trace: writing delta: %w", err)
 		}
@@ -54,11 +66,17 @@ func (w *Writer) Write(pages []uint64) error {
 	return nil
 }
 
-// Close flushes buffered output and verifies that exactly the declared
-// number of accesses was written. It does not close the underlying writer.
+// Close verifies that exactly the declared number of accesses was
+// written, appends the checksum footer, and flushes buffered output. It
+// does not close the underlying writer.
 func (w *Writer) Close() error {
 	if w.written != w.declared {
 		return fmt.Errorf("trace: wrote %d accesses, declared %d", w.written, w.declared)
+	}
+	var ftr [4]byte
+	binary.LittleEndian.PutUint32(ftr[:], w.crc)
+	if _, err := w.bw.Write(ftr[:]); err != nil {
+		return fmt.Errorf("trace: writing checksum: %w", err)
 	}
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flushing: %w", err)
@@ -71,15 +89,26 @@ func (w *Writer) Close() error {
 // replaying a recording needs O(chunk) memory instead of O(trace) — the
 // regime trace-driven translation studies replay multi-billion-access
 // recordings in.
+//
+// Errors are sticky and frames are all-or-nothing: a Read that fails
+// delivers zero accesses (never a partial frame), and every subsequent
+// Read returns the same error — a short or corrupt file cannot leak a
+// prefix of a frame into a simulation.
 type Reader struct {
-	br    *bufio.Reader
-	count uint64
-	read  uint64
-	prev  uint64
+	br      *bufio.Reader
+	count   uint64
+	read    uint64
+	prev    uint64
+	crc     uint32
+	hasCRC  bool // version-02 trace: verify the footer at the end
+	checked bool
+	err     error  // sticky first failure
+	scratch []byte // crcPages packing buffer, allocated once
 }
 
 // NewReader parses the trace header from r and returns a Reader positioned
-// at the first access.
+// at the first access. Both format versions are accepted; only version 02
+// carries a verifiable checksum.
 func NewReader(r io.Reader) (*Reader, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
@@ -89,14 +118,19 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magic {
+	var hasCRC bool
+	switch m {
+	case magicV1:
+	case magicV2:
+		hasCRC = true
+	default:
 		return nil, ErrBadMagic
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
-	return &Reader{br: br, count: binary.LittleEndian.Uint64(hdr[:])}, nil
+	return &Reader{br: br, count: binary.LittleEndian.Uint64(hdr[:]), hasCRC: hasCRC}, nil
 }
 
 // Count returns the access count the header declares. Untrusted input can
@@ -107,10 +141,20 @@ func (r *Reader) Count() uint64 { return r.count }
 func (r *Reader) Remaining() uint64 { return r.count - r.read }
 
 // Read decodes up to len(dst) accesses into dst, returning how many were
-// decoded. At the end of the trace it returns 0, io.EOF. A trace shorter
-// than its declared count yields io.ErrUnexpectedEOF.
+// decoded. At the end of the trace it returns 0, io.EOF — after, for a
+// version-02 trace, verifying the checksum footer (mismatch yields
+// ErrCorrupt instead). A trace shorter than its declared count yields
+// io.ErrUnexpectedEOF. On any error zero accesses are delivered and the
+// error is sticky.
 func (r *Reader) Read(dst []uint64) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
 	if r.read == r.count {
+		if err := r.verify(); err != nil {
+			r.err = err
+			return 0, err
+		}
 		return 0, io.EOF
 	}
 	n := uint64(len(dst))
@@ -124,12 +168,43 @@ func (r *Reader) Read(dst []uint64) (int, error) {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return int(i), fmt.Errorf("trace: reading delta %d/%d: %w", r.read+i, r.count, err)
+			r.err = fmt.Errorf("trace: reading delta %d/%d: %w", r.read+i, r.count, err)
+			return 0, r.err
 		}
 		prev = uint64(int64(prev) + delta)
 		dst[i] = prev
 	}
 	r.prev = prev
+	r.crc = crcPages(r.crc, dst[:n], &r.scratch)
 	r.read += n
+	if r.read == r.count {
+		// Verify eagerly so the final frame is withheld when the trace is
+		// corrupt — a caller that consumes exactly Count accesses and
+		// never sees the EOF still gets the all-or-nothing guarantee for
+		// the data it was just handed.
+		if err := r.verify(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
 	return int(n), nil
+}
+
+// verify consumes and checks the version-02 footer, once.
+func (r *Reader) verify() error {
+	if !r.hasCRC || r.checked {
+		return nil
+	}
+	r.checked = true
+	var ftr [4]byte
+	if _, err := io.ReadFull(r.br, ftr[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	if want := binary.LittleEndian.Uint32(ftr[:]); want != r.crc {
+		return fmt.Errorf("%w: computed %08x, footer %08x", ErrCorrupt, r.crc, want)
+	}
+	return nil
 }

@@ -3,8 +3,11 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
+
+	"addrxlat/internal/faultinject"
 )
 
 // TestWriterReaderRoundTrip pins the incremental Writer/Reader pair
@@ -106,7 +109,7 @@ func TestWriterCountMismatch(t *testing.T) {
 // fails by OOM/timeout if the cap regresses.
 func TestReadCorruptHeaderAllocation(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	buf.Write(magicV1[:])
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], 1<<32)
 	buf.Write(hdr[:])
@@ -131,6 +134,129 @@ func TestReadTruncated(t *testing.T) {
 	cut := full.Bytes()[:full.Len()-2]
 	if _, err := Read(bytes.NewReader(cut)); err == nil {
 		t.Fatal("Read accepted a truncated trace")
+	}
+}
+
+// TestReadTruncatedNoPartialFrame pins the all-or-nothing frame contract:
+// a Read that hits a short read must deliver zero accesses and the same
+// error on every subsequent call — a truncated recording cannot leak a
+// frame prefix into a simulation.
+func TestReadTruncatedNoPartialFrame(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, []uint64{10, 11, 12, 13, 14, 15, 16, 17}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the delta stream (well before the 4-byte footer).
+	cut := full.Bytes()[:full.Len()-8]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]uint64, 64)
+	n, err := r.Read(chunk)
+	if n != 0 {
+		t.Fatalf("truncated Read delivered %d accesses; frames must be all-or-nothing", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if n2, err2 := r.Read(chunk); n2 != 0 || !errors.Is(err2, io.ErrUnexpectedEOF) {
+		t.Fatalf("error not sticky: n=%d err=%v", n2, err2)
+	}
+}
+
+// TestReadShortFooter verifies a trace cut inside the checksum footer
+// (deltas complete, footer missing) fails cleanly instead of validating.
+func TestReadShortFooter(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Bytes()[:full.Len()-3] // leave 1 of 4 footer bytes
+	if _, err := Read(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF for a missing footer", err)
+	}
+}
+
+// TestReadDetectsCorruption flips one payload bit of an encoded trace and
+// verifies the checksum rejects it with ErrCorrupt (when the damaged
+// stream still parses) rather than returning wrong pages.
+func TestReadDetectsCorruption(t *testing.T) {
+	pages := []uint64{100, 101, 102, 250, 251, 7, 8, 9}
+	var buf bytes.Buffer
+	if err := Write(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	rejected := 0
+	// Try flipping a low value-bit of every delta byte; each either fails
+	// varint framing (clean error) or decodes to different pages, which
+	// the checksum must catch. Silent acceptance is the only failure.
+	for off := 16; off < len(enc)-4; off++ {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x02
+		got, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			rejected++
+			continue
+		}
+		for i := range got {
+			if got[i] != pages[i] {
+				t.Fatalf("corruption at byte %d returned wrong pages without error", off)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no mutation was rejected; checksum is not being verified")
+	}
+}
+
+// TestReadV1Compat verifies version-01 traces (no checksum footer) still
+// decode, so recordings made before the format bump stay replayable.
+func TestReadV1Compat(t *testing.T) {
+	pages := []uint64{5, 6, 7, 100}
+	var buf bytes.Buffer
+	buf.Write(magicV1[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(pages)))
+	buf.Write(hdr[:])
+	var vbuf [binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for _, p := range pages {
+		n := binary.PutVarint(vbuf[:], int64(p)-int64(prev))
+		buf.Write(vbuf[:n])
+		prev = p
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pages) {
+		t.Fatalf("decoded %d pages, want %d", len(got), len(pages))
+	}
+	for i := range pages {
+		if got[i] != pages[i] {
+			t.Fatalf("page %d = %d, want %d", i, got[i], pages[i])
+		}
+	}
+}
+
+// TestFaultInjectedCorruption arms the trace-corrupt fault point, writes a
+// trace through the normal Writer, and verifies the reader refuses it —
+// the end-to-end proof that silent bit rot between record and replay
+// cannot reach a simulation.
+func TestFaultInjectedCorruption(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("trace-corrupt@3"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []uint64{10, 20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Disarm()
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for a fault-injected trace", err)
 	}
 }
 
