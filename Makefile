@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench race vet fuzz-smoke
+.PHONY: all build test check bench bench-diff race vet fuzz-smoke
 
 all: build
 
@@ -30,6 +30,19 @@ fuzz-smoke:
 bench:
 	@mkdir -p results
 	$(GO) test -bench=. -benchmem -run=^$$ . | tee results/bench-$$(date -u +%Y%m%dT%H%M%SZ).txt
+
+# bench-diff reruns the hot-path benchmarks and compares them against the
+# newest committed BENCH_*.json baseline, failing on a >10% ns/op
+# regression in any hot-path benchmark (Access*, Fig1aBimodal, Replay*,
+# TraceDecode). The comparison is hand-rolled (cmd/benchdiff) — benchstat
+# is deliberately not a dependency. Report lands in results/bench-diff.txt.
+BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+bench-diff:
+	@mkdir -p results
+	$(GO) test -run=^$$ -bench='Access(HugePage|Decoupled|THP|Superpage)|Fig1aBimodal' -benchtime=1s . > results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='ReplayStream|ReplayMaterialized' -benchtime=1s ./internal/workload/ >> results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='TraceDecode' -benchtime=1s ./internal/trace/ >> results/bench-raw.txt
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -out results/bench-diff.txt < results/bench-raw.txt
 
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke so the benchmark

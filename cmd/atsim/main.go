@@ -8,6 +8,7 @@
 //	atsim -workload graphwalk -algo decoupled -alloc iceberg
 //	atsim -workload graph500 -algo hybrid -g 4
 //	atsim -workload zipf -zipf-s 1.2 -algo decoupled
+//	atsim -workload bimodal -algo thp -h 64 -explain
 package main
 
 import (
@@ -45,31 +46,32 @@ var (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "bimodal", "workload: bimodal|graphwalk|graph500|uniform|zipf|sequential")
-		algo    = flag.String("algo", "hugepage", "algorithm: hugepage|decoupled|hybrid|thp|superpage|hawkeye|directseg|coalesced|nested|tlb-only|ram-only")
-		alloc   = flag.String("alloc", "iceberg", "decoupled allocation scheme: full|single|iceberg")
-		h       = flag.Uint64("h", 1, "huge-page size for -algo hugepage")
-		g       = flag.Uint64("g", 2, "group size for -algo hybrid")
-		vPages  = flag.Uint64("vpages", 1<<20, "virtual address space, base pages")
-		ramPg   = flag.Uint64("ram", 1<<18, "physical memory, base pages")
-		tlbEnt  = flag.Int("tlb", 1536, "TLB entries")
-		wBits   = flag.Int("w", 64, "TLB value bits")
-		tlbPol  = flag.String("tlb-policy", "lru", "TLB replacement policy")
-		ramPol  = flag.String("ram-policy", "lru", "RAM replacement policy")
-		warmN   = flag.Int("warmup", 1_000_000, "warmup accesses")
-		measN   = flag.Int("measure", 1_000_000, "measured accesses")
-		hotFrac = flag.Float64("hot-prob", 0.9999, "bimodal hot-access probability")
-		hotPg   = flag.Uint64("hot", 1<<14, "bimodal hot-region pages")
-		zipfS   = flag.Float64("zipf-s", 1.1, "zipf exponent")
-		alpha   = flag.Float64("alpha", 0.01, "graphwalk Pareto alpha")
-		gscale  = flag.Int("gscale", 16, "graph500 scale (log2 vertices)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		eps     = flag.Float64("eps", 0.01, "TLB-miss cost ε")
-		dumpTo  = flag.String("dump-trace", "", "also write the measured trace to this file")
-		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating a workload")
-		sample  = flag.Uint64("sample", 0, "record a cost-over-time curve every N accesses (0 disables)")
-		curves  = flag.String("curves", "", "cost-curve output file (default <manifest dir>/atsim.curves.tsv)")
-		maniDir = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
+		wl       = flag.String("workload", "bimodal", "workload: bimodal|graphwalk|graph500|uniform|zipf|sequential")
+		algo     = flag.String("algo", "hugepage", "algorithm: hugepage|decoupled|hybrid|thp|superpage|hawkeye|directseg|coalesced|nested|tlb-only|ram-only")
+		alloc    = flag.String("alloc", "iceberg", "decoupled allocation scheme: full|single|iceberg")
+		h        = flag.Uint64("h", 1, "huge-page size for -algo hugepage")
+		g        = flag.Uint64("g", 2, "group size for -algo hybrid")
+		vPages   = flag.Uint64("vpages", 1<<20, "virtual address space, base pages")
+		ramPg    = flag.Uint64("ram", 1<<18, "physical memory, base pages")
+		tlbEnt   = flag.Int("tlb", 1536, "TLB entries")
+		wBits    = flag.Int("w", 64, "TLB value bits")
+		tlbPol   = flag.String("tlb-policy", "lru", "TLB replacement policy")
+		ramPol   = flag.String("ram-policy", "lru", "RAM replacement policy")
+		warmN    = flag.Int("warmup", 1_000_000, "warmup accesses")
+		measN    = flag.Int("measure", 1_000_000, "measured accesses")
+		hotFrac  = flag.Float64("hot-prob", 0.9999, "bimodal hot-access probability")
+		hotPg    = flag.Uint64("hot", 1<<14, "bimodal hot-region pages")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf exponent")
+		alpha    = flag.Float64("alpha", 0.01, "graphwalk Pareto alpha")
+		gscale   = flag.Int("gscale", 16, "graph500 scale (log2 vertices)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		eps      = flag.Float64("eps", 0.01, "TLB-miss cost ε")
+		dumpTo   = flag.String("dump-trace", "", "also write the measured trace to this file")
+		replay   = flag.String("replay", "", "replay a recorded trace file instead of generating a workload")
+		sample   = flag.Uint64("sample", 0, "record a cost-over-time curve every N accesses (0 disables)")
+		explainF = flag.Bool("explain", false, "attribute costs: print the event breakdown and write atsim.explain.tsv/.json next to the manifest")
+		curves   = flag.String("curves", "", "cost-curve output file (default <manifest dir>/atsim.curves.tsv)")
+		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -93,6 +95,7 @@ func main() {
 	man := obs.NewManifest("atsim", os.Args[1:])
 	man.Config = obs.FlagConfig(nil)
 	man.Seeds = []uint64{*seed}
+	man.FaultPlan = faultinject.Plan()
 	exitMan, exitManDir = man, *maniDir
 
 	var (
@@ -129,6 +132,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var exCounters *obs.Counters
+	if *explainF {
+		exCounters = mm.EnableExplain(alg)
+		if exCounters == nil {
+			fmt.Fprintf(os.Stderr, "atsim: -explain: algorithm %q records no attribution\n", *algo)
+		}
+	}
 
 	rec := obs.NewRecorder(*sample)
 
@@ -154,6 +164,28 @@ func main() {
 		fmt.Printf("decoupled: %s\n", z.Params())
 		fmt.Printf("failures:  %d lifetime paging failures, %d failure-path accesses\n",
 			z.Scheme().TotalFailures(), z.FailureHits())
+	}
+	if exCounters != nil {
+		// The measured window's attribution (ResetCosts resets the explain
+		// counters with the costs, so only post-warmup events remain).
+		c := exCounters.Snapshot()
+		fmt.Printf("explain:   ios = %d demand + %d amplified + %d failure (%d evictions)\n",
+			c.IODemand, c.IOAmplified, c.IOFailure, c.Evictions)
+		fmt.Printf("           tlb = %d compulsory + %d capacity + %d coverage-loss (%d invalidations), %d decode misses\n",
+			c.TLBCompulsory, c.TLBCapacity, c.TLBCoverageLoss, c.TLBInvalidations, c.DecodeMisses)
+		var g obs.Gauges
+		var hasG bool
+		if gg, ok := alg.(mm.Gauger); ok {
+			if g, hasG = gg.ExplainGauges(); hasG {
+				fmt.Printf("gauges:    util=%.4f frag=%.4f coverage=%d pages/entry, tlb reach=%d pages\n",
+					g.Utilization, g.Fragmentation, g.CoveragePages, g.TLBReachPages)
+				if g.HasLoads {
+					fmt.Printf("buckets:   n=%d avg=%.2f max=%d, Theorem 2 bound=%.1f\n",
+						g.Buckets, g.AvgLoad, g.MaxLoad, g.Theorem2Bound)
+				}
+			}
+		}
+		rec.RowExplain("", mm.PhaseMeasured, alg.Name(), c, g, hasG)
 	}
 
 	if *dumpTo != "" {
@@ -183,10 +215,22 @@ func main() {
 			fmt.Printf("curves:    wrote cost-over-time series to %s\n", path)
 		}
 	}
-	man.Experiments = []obs.RunRecord{{
+	if rec.HasExplain() && *maniDir != "" {
+		base := filepath.Join(*maniDir, "atsim.explain")
+		if err := writeExplain(rec, base); err != nil {
+			fail(err)
+		}
+		fmt.Printf("explain:   wrote attribution to %s.tsv and %s.json\n", base, base)
+	}
+	rr := obs.RunRecord{
 		ID: *algo, Table: *wl, Rows: 1,
 		WallSeconds: runElapsed.Seconds(), Phases: rec.Phases(),
-	}}
+	}
+	if rec.HasExplain() {
+		tot := rec.ExplainTotals()
+		rr.Explain = &tot
+	}
+	man.Experiments = []obs.RunRecord{rr}
 	flushManifest("ok", "")
 }
 
@@ -209,6 +253,36 @@ func runGenerated(ctx context.Context, alg mm.Algorithm, warm, meas []uint64, re
 	}
 	rec.RowPhase("", mm.PhaseMeasured, name, len(meas), time.Since(start))
 	return c, nil
+}
+
+// writeExplain renders the recorded attribution snapshot to <base>.tsv
+// and <base>.json.
+func writeExplain(rec *obs.Recorder, base string) error {
+	if dir := filepath.Dir(base); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tf, err := os.Create(base + ".tsv")
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteExplainTSV(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteExplainJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 // writeCurves renders the recorded cost-over-time series to path.

@@ -1,0 +1,168 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// BENCH_*.json baseline — a benchstat-style report without the external
+// dependency. It reads benchmark output on stdin, matches benchmark names
+// against the baseline's "benchmarks" map (the after.ns_per_op numbers),
+// and prints a delta table. Benchmarks matching the -hot pattern fail the
+// run (exit 1) when they regress by more than -threshold; everything else
+// is report-only.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. . | go run ./cmd/benchdiff -baseline BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type metrics struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type entry struct {
+	After *metrics `json:"after"`
+}
+
+type baseline struct {
+	PR         string           `json:"pr"`
+	Date       string           `json:"date"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkAccessHugePage-8   92881926   12.66 ns/op   0 B/op".
+// The -N GOMAXPROCS suffix is stripped so names match the baseline keys.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "", "baseline BENCH_*.json to compare against (required)")
+		threshold = flag.Float64("threshold", 0.10, "max tolerated hot-path ns/op regression (fraction)")
+		hotPat    = flag.String("hot", `^Benchmark(Access|Fig1aBimodal|Replay|TraceDecode)`, "regexp of hot-path benchmarks gated by -threshold")
+		outPath   = flag.String("out", "", "also write the report to this file (for CI artifacts)")
+	)
+	flag.Parse()
+	if *basePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		os.Exit(2)
+	}
+	hot, err := regexp.Compile(*hotPat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -hot: %v\n", err)
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading bench output: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	report, regressions := diff(base, current, hot, *threshold)
+	fmt.Print(report)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d hot-path regression(s) beyond %.0f%%: %s\n",
+			len(regressions), *threshold*100, strings.Join(regressions, ", "))
+		os.Exit(1)
+	}
+}
+
+// parseBench collects the best (lowest) ns/op per benchmark name, so a
+// -count run is compared by its least-noisy iteration.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// diff renders the comparison table and returns the hot benchmarks whose
+// slowdown exceeded the threshold.
+func diff(base baseline, current map[string]float64, hot *regexp.Regexp, threshold float64) (string, []string) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "baseline: %s (%s)\n", base.PR, base.Date)
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "verdict")
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		ns := current[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.After == nil || b.After.NsPerOp <= 0 {
+			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s  no baseline\n", name, "-", ns, "-")
+			continue
+		}
+		delta := (ns - b.After.NsPerOp) / b.After.NsPerOp
+		verdict := "ok"
+		switch {
+		case hot.MatchString(name) && delta > threshold:
+			verdict = "REGRESSION"
+			regressions = append(regressions, name)
+		case delta > threshold:
+			verdict = "slower (not gated)"
+		case delta < -threshold:
+			verdict = "faster"
+		}
+		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%%  %s\n",
+			name, b.After.NsPerOp, ns, delta*100, verdict)
+	}
+	var missing []string
+	for name, b := range base.Benchmarks {
+		if _, ok := current[name]; !ok && b.After != nil {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s  not measured\n",
+			name, base.Benchmarks[name].After.NsPerOp, "-", "-")
+	}
+	return sb.String(), regressions
+}

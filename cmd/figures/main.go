@@ -12,6 +12,7 @@
 //	figures -cache dir           # result-cache location (default results/cache)
 //	figures -no-cache            # resimulate every cell
 //	figures -sample 1000000      # record cost-over-time curves every 1M accesses
+//	figures -explain             # attribute costs: <experiment>.explain.tsv/.json
 //	figures -http :8321          # serve live sweep counters at /debug/vars
 //	figures -resume manifest.json # resume an interrupted run
 //
@@ -79,6 +80,7 @@ func main() {
 		cacheDir = flag.String("cache", "results/cache", "content-addressed result cache directory (see EXPERIMENTS.md)")
 		noCache  = flag.Bool("no-cache", false, "disable the result cache: simulate every cell")
 		sample   = flag.Uint64("sample", 0, "record cost-over-time curves every N accesses per algorithm (0 disables); written as <experiment>.curves.tsv next to the outputs")
+		explainF = flag.Bool("explain", false, "record per-algorithm cost attribution and structural gauges; written as <experiment>.explain.tsv/.json next to the outputs and summarized in the manifest")
 		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON and sweep journal into this directory (empty disables)")
 		httpAddr = flag.String("http", "", "serve live sweep counters (expvar) on this address, e.g. :8321")
 		progress = flag.Bool("progress", true, "print live per-experiment progress with ETA to stderr")
@@ -151,11 +153,15 @@ func main() {
 		id  string
 		run runner
 	}{
-		{"f1a", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Fig1(experiments.F1aBimodal, s, *seed) }},
+		{"f1a", func(s experiments.Scale) (*experiments.Table, error) {
+			return experiments.Fig1(experiments.F1aBimodal, s, *seed)
+		}},
 		{"f1b", func(s experiments.Scale) (*experiments.Table, error) {
 			return experiments.Fig1(experiments.F1bGraphWalk, s, *seed)
 		}},
-		{"f1c", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Fig1(experiments.F1cGraph500, s, *seed) }},
+		{"f1c", func(s experiments.Scale) (*experiments.Table, error) {
+			return experiments.Fig1(experiments.F1cGraph500, s, *seed)
+		}},
 		{"t1", func(experiments.Scale) (*experiments.Table, error) { return experiments.Theorem1(1<<18, 3) }},
 		{"t2", func(experiments.Scale) (*experiments.Table, error) {
 			return experiments.Theorem2(32, []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}, 20000, *seed)
@@ -217,6 +223,7 @@ func main() {
 	man := obs.NewManifest("figures", os.Args[1:])
 	man.Config = obs.FlagConfig(nil)
 	man.Seeds = []uint64{*seed}
+	man.FaultPlan = faultinject.Plan()
 	exitMan, exitManDir = man, *maniDir
 
 	// The sweep journal witnesses finished cells and experiments; a
@@ -286,6 +293,7 @@ func main() {
 		runScale := scale
 		rec := obs.NewRecorder(*sample)
 		runScale.Probe = rec
+		runScale.Explain = *explainF
 		var hits0, misses0 uint64
 		if cache != nil {
 			hits0, misses0, _ = cache.Stats()
@@ -300,6 +308,9 @@ func main() {
 				// interrupted process should.
 				if rec.HasSeries() && curveDir != "" {
 					_ = writeCurves(rec, curveDir, e.id+".partial")
+				}
+				if rec.HasExplain() && curveDir != "" {
+					_ = writeExplain(rec, curveDir, e.id+".partial")
 				}
 				flushProfile()
 				flushManifest("canceled", fmt.Sprintf("%s: %v", e.id, err))
@@ -317,6 +328,11 @@ func main() {
 				die(1, "figures: %s: %v\n", e.id, err)
 			}
 		}
+		if rec.HasExplain() && curveDir != "" {
+			if err := writeExplain(rec, curveDir, tab.Name); err != nil {
+				die(1, "figures: %s: %v\n", e.id, err)
+			}
+		}
 		if jw != nil {
 			if err := jw.Experiment(e.id); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: journal: %v\n", err)
@@ -325,6 +341,10 @@ func main() {
 		rr := obs.RunRecord{
 			ID: e.id, Table: tab.Name, Rows: len(tab.Rows),
 			WallSeconds: elapsed.Seconds(), Phases: rec.Phases(),
+		}
+		if rec.HasExplain() {
+			tot := rec.ExplainTotals()
+			rr.Explain = &tot
 		}
 		var hits, misses uint64
 		if cache != nil {
@@ -391,6 +411,34 @@ func writeCurves(rec *obs.Recorder, dir, name string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeExplain renders one experiment's cost-attribution snapshot into
+// <dir>/<name>.explain.tsv and .explain.json.
+func writeExplain(rec *obs.Recorder, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, name+".explain.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteExplainTSV(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, name+".explain.json"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteExplainJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 // flushProfile stops the CPU profile and writes the heap profile, if

@@ -2,6 +2,7 @@ package ballsbins
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -37,6 +38,20 @@ func FormatHistogram(counts []int, width int) string {
 		fmt.Fprintf(&sb, "%4d | %-*s %d\n", load, width, strings.Repeat("#", bar), c)
 	}
 	return sb.String()
+}
+
+// Theorem2Bound evaluates the Theorem 2 max-load guarantee
+// (1+o(1))λ + log log n + O(1) at a concrete geometry, with the constants
+// the Iceberg parameter derivation commits to: a 1.05 front-yard slack for
+// the (1+o(1)) factor and ⌈log₂log₂ n⌉ + 4 back-room slots for the
+// additive term. It is the "bound monitor" line that observed max loads
+// are compared against — a crossing means the construction's guarantee,
+// not just luck, has been violated.
+func Theorem2Bound(lambda float64, bins int) float64 {
+	if bins < 4 {
+		bins = 4 // log log degenerates below e^e; clamp tiny test geometries
+	}
+	return math.Ceil(1.05*lambda) + math.Ceil(math.Log2(math.Log2(float64(bins)))) + 4
 }
 
 // Quantile returns the smallest load l such that at least q (0 < q ≤ 1)

@@ -150,3 +150,14 @@ func (a *IcebergAllocator) BackAssigns() uint64 { return a.backAssigns }
 
 // BucketLoad exposes the total occupancy of a bucket for experiments.
 func (a *IcebergAllocator) BucketLoad(bucket uint64) int { return a.space.load(bucket) }
+
+// LoadHistogram returns hist[l] = number of buckets currently holding
+// exactly l resident pages, for l in [0, B] — the distribution the
+// Theorem 2 bound monitor compares against (1+o(1))λ + log log n.
+func (a *IcebergAllocator) LoadHistogram() []int {
+	hist := make([]int, a.params.B+1)
+	for b := uint64(0); b < a.params.NumBuckets; b++ {
+		hist[a.space.load(b)]++
+	}
+	return hist
+}

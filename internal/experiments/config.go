@@ -32,6 +32,14 @@ type Scale struct {
 	// so a probe cannot change a single counter; nil disables all
 	// telemetry at the cost of one nil check per chunk.
 	Probe Probe
+	// Explain enables cost attribution: every simulator that implements
+	// mm.Explainer gets its explain counters allocated before the run, and
+	// a Probe that also implements ExplainProbe receives attribution
+	// snapshots and structural gauges at the same chunk boundaries as
+	// RowSample. Attribution never mutates algorithm state, so tables are
+	// byte-identical with it on or off (pinned by
+	// TestExplainByteIdentical).
+	Explain bool
 	// Ctx, when non-nil, cancels the sweep cooperatively: row drivers
 	// check it at every chunk boundary and sweep workers stop dispatching
 	// new cells once it is done, so a SIGINT drains within one chunk of

@@ -19,7 +19,7 @@ type cancelProbe struct {
 	cancel context.CancelFunc
 }
 
-func (p *cancelProbe) RowSample(row, phase, alg string, c mm.Costs) { p.once.Do(p.cancel) }
+func (p *cancelProbe) RowSample(row, phase, alg string, c mm.Costs)            { p.once.Do(p.cancel) }
 func (p *cancelProbe) RowPhase(row, phase, alg string, n int, d time.Duration) {}
 
 // TestSweepCancellation cancels the context from inside the first chunk

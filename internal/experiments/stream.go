@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/faultinject"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/workload"
@@ -25,6 +26,42 @@ type Probe interface {
 	// wall time. alg is empty for streaming rows, where every simulator
 	// shares the window; materialized runs report per algorithm.
 	RowPhase(row, phase, alg string, accesses int, elapsed time.Duration)
+}
+
+// ExplainProbe is the optional Probe extension for cost attribution:
+// probes that also implement it receive each simulator's cumulative
+// explain counters and structural gauges at the same chunk boundaries as
+// RowSample, whenever Scale.Explain is set. hasGauges is false for
+// algorithms that expose no structural state (e.g. the TLB-only side
+// problem). obs.Recorder is the standard implementation.
+type ExplainProbe interface {
+	RowExplain(row, phase, alg string, c explain.Counters, g explain.Gauges, hasGauges bool)
+}
+
+// explainProbe returns the probe's attribution side, or nil when
+// attribution is off or the probe does not implement it.
+func (s Scale) explainProbe() ExplainProbe {
+	if !s.Explain || s.Probe == nil {
+		return nil
+	}
+	ep, _ := s.Probe.(ExplainProbe)
+	return ep
+}
+
+// deliverExplain snapshots one simulator's attribution state into ep.
+// Algorithms without explain counters (not an Explainer, or never
+// enabled) contribute nothing.
+func deliverExplain(ep ExplainProbe, row, phase, alg string, a mm.Algorithm) {
+	e, ok := a.(mm.Explainer)
+	if !ok || e.Explain() == nil {
+		return
+	}
+	var g explain.Gauges
+	var hasG bool
+	if gg, ok := a.(mm.Gauger); ok {
+		g, hasG = gg.ExplainGauges()
+	}
+	ep.RowExplain(row, phase, alg, e.Explain().Snapshot(), g, hasG)
 }
 
 // streamChunk is the request-chunk granularity of the row drivers. One
@@ -111,6 +148,11 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 			names[i] = a.Name()
 		}
 	}
+	if s.Explain {
+		for _, a := range sims {
+			mm.EnableExplain(a)
+		}
+	}
 	if err := m.window(s, gen, m.warmupN, sims, cellErrs, names, mm.PhaseWarmup); err != nil {
 		return cellErrs, err
 	}
@@ -151,6 +193,7 @@ func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.A
 // is excluded from all later chunks of the row.
 func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, cellErrs []error, names []string, row, phase string) error {
 	ctx := s.context()
+	ep := s.explainProbe()
 	src, err := workload.NewSource(gen, streamChunk, n)
 	if err != nil {
 		return err
@@ -192,6 +235,9 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, c
 			accessAll(sims[i], chunk)
 			if s.Probe != nil {
 				s.Probe.RowSample(row, phase, names[i], sims[i].Costs())
+				if ep != nil {
+					deliverExplain(ep, row, phase, names[i], sims[i])
+				}
 			}
 		}
 		if len(live) == 1 {
@@ -215,14 +261,21 @@ func joinRow(cellErrs []error, err error) error {
 }
 
 // probeSampler adapts a Probe to mm.Sampler under a fixed row label, for
-// experiments that run materialized windows through the mm runners.
+// experiments that run materialized windows through the mm runners. With
+// an ExplainProbe attached it also delivers the algorithm's attribution
+// snapshot at each sample point.
 type probeSampler struct {
 	row string
 	p   Probe
+	ep  ExplainProbe
+	a   mm.Algorithm
 }
 
 func (ps probeSampler) Sample(phase, alg string, c mm.Costs) {
 	ps.p.RowSample(ps.row, phase, alg, c)
+	if ps.ep != nil {
+		deliverExplain(ps.ep, ps.row, phase, alg, ps.a)
+	}
 }
 
 // runWarm is mm.RunWarm with the scale's telemetry and cancellation
@@ -235,11 +288,14 @@ func (ps probeSampler) Sample(phase, alg string, c mm.Costs) {
 // the context's error.
 func (s Scale) runWarm(row string, a mm.Algorithm, warmup, measured []uint64) (mm.Costs, error) {
 	ctx := s.context()
+	if s.Explain {
+		mm.EnableExplain(a)
+	}
 	if s.Probe == nil {
 		return mm.RunWarmCtx(ctx, a, warmup, measured)
 	}
 	name := a.Name()
-	ps := probeSampler{row: row, p: s.Probe}
+	ps := probeSampler{row: row, p: s.Probe, ep: s.explainProbe(), a: a}
 	start := time.Now()
 	if _, err := mm.RunPhaseSampledCtx(ctx, a, warmup, streamChunk, ps, mm.PhaseWarmup); err != nil {
 		return a.Costs(), err

@@ -187,7 +187,7 @@ func Theorem2(lambda int, binCounts []int, churnSteps int, seed uint64) (*Table,
 		Columns: []string{"bins", "balls", "loglogn",
 			"onechoice_peak", "onechoice_gap",
 			"greedy2_peak", "greedy2_gap",
-			"iceberg2_peak", "iceberg2_gap"},
+			"iceberg2_peak", "iceberg2_gap", "iceberg2_bound", "bound_ok"},
 	}
 	type res struct{ one, greedy, ice int }
 	results := make([]res, len(binCounts))
@@ -210,10 +210,18 @@ func Theorem2(lambda int, binCounts []int, churnSteps int, seed uint64) (*Table,
 	for i, n := range binCounts {
 		r := results[i]
 		loglogn := math.Log2(math.Log2(float64(n)))
+		// Bound monitor: the evaluated Theorem 2 bound (1+o(1))λ + log log n
+		// next to the observed Iceberg peak, so a regression in the
+		// allocator shows up as bound_ok=no instead of an unexplained bump.
+		bound := ballsbins.Theorem2Bound(float64(lambda), n)
+		boundOK := "yes"
+		if float64(r.ice) > bound {
+			boundOK = "no"
+		}
 		t.AddRow(n, n*lambda, fmt.Sprintf("%.2f", loglogn),
 			r.one, r.one-lambda,
 			r.greedy, r.greedy-lambda,
-			r.ice, r.ice-lambda)
+			r.ice, r.ice-lambda, fmt.Sprintf("%.1f", bound), boundOK)
 	}
 	return t, nil
 }

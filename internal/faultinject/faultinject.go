@@ -73,6 +73,7 @@ var (
 	armed atomic.Bool
 	mu    sync.Mutex
 	rules []*rule
+	plan  string
 )
 
 // Armed reports whether any fault plan is active. It is the only call
@@ -121,9 +122,18 @@ func Arm(spec string) error {
 	}
 	mu.Lock()
 	rules = rs
+	plan = spec
 	mu.Unlock()
 	armed.Store(true)
 	return nil
+}
+
+// Plan returns the armed fault-plan spec, or "" when disarmed — the
+// string the run manifest records so fault-injected output is traceable.
+func Plan() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return plan
 }
 
 // ArmFromEnv arms the plan in $ADDRXLAT_FAULTS, if set. CLIs call it once
@@ -135,6 +145,7 @@ func Disarm() {
 	armed.Store(false)
 	mu.Lock()
 	rules = nil
+	plan = ""
 	mu.Unlock()
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"addrxlat/internal/core"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -51,6 +52,7 @@ type Coalesced struct {
 	alloc *core.FullAllocator
 
 	costs     Costs
+	ex        *explain.Counters
 	coalesced uint64 // fills that covered a whole group
 	singles   uint64 // fills that covered one page
 }
@@ -109,12 +111,17 @@ func (m *Coalesced) Access(v uint64) {
 	hit, victim := m.ram.Access(v)
 	if victim != policy.NoEviction {
 		m.alloc.Release(victim)
+		m.ex.Evict()
 		// A page leaving RAM invalidates any coalesced entry covering it.
-		m.tlb.Invalidate(coalKeyGroup(victim / m.cfg.CoalesceLimit))
-		m.tlb.Invalidate(coalKeySingle(victim))
+		groupDropped := m.tlb.Invalidate(coalKeyGroup(victim / m.cfg.CoalesceLimit))
+		singleDropped := m.tlb.Invalidate(coalKeySingle(victim))
+		if groupDropped || singleDropped {
+			m.ex.TLBInvalidated(victim)
+		}
 	}
 	if !hit {
 		m.costs.IOs++
+		m.ex.DemandIO()
 		if _, ok := m.alloc.Assign(v); !ok {
 			panic("mm: coalesced allocator out of frames despite eviction")
 		}
@@ -129,12 +136,15 @@ func (m *Coalesced) Access(v uint64) {
 		return
 	}
 	m.costs.TLBMisses++
+	m.ex.TLBMiss(v)
 	if m.groupContiguous(v) {
 		m.tlb.Insert(coalKeyGroup(group), tlb.Entry{})
 		m.coalesced++
+		m.ex.CoalescedFill()
 	} else {
 		m.tlb.Insert(coalKeySingle(v), tlb.Entry{})
 		m.singles++
+		m.ex.SingleFill()
 	}
 }
 
@@ -151,7 +161,28 @@ func (m *Coalesced) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *Coalesced) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	m.tlb.ResetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (m *Coalesced) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *Coalesced) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger. TLB reach is reported at one page per
+// entry — a lower bound, since the mix of group vs single entries
+// currently live in the TLB is not tracked.
+func (m *Coalesced) ExplainGauges() (explain.Gauges, bool) {
+	g := occupancyGauges(uint64(m.ram.Len()), m.cfg.RAMPages)
+	g.CoveragePages = m.cfg.CoalesceLimit
+	g.TLBReachPages = m.tlb.Reach(1)
+	return g, true
 }
 
 // Name implements Algorithm.

@@ -3,7 +3,9 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/ballsbins"
 	"addrxlat/internal/core"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -57,19 +59,22 @@ type decoupledTLB interface {
 	lookupHit(u uint64) bool
 	insertEntry(u uint64)
 	resetCounters()
+	reach(pagesPerEntry uint64) uint64
 }
 
 type fullDecoupledTLB struct{ t *tlb.TLB }
 
-func (f fullDecoupledTLB) lookupHit(u uint64) bool { return f.t.LookupHit(u) }
-func (f fullDecoupledTLB) insertEntry(u uint64)    { f.t.Insert(u, tlb.Entry{}) }
-func (f fullDecoupledTLB) resetCounters()          { f.t.ResetCounters() }
+func (f fullDecoupledTLB) lookupHit(u uint64) bool   { return f.t.LookupHit(u) }
+func (f fullDecoupledTLB) insertEntry(u uint64)      { f.t.Insert(u, tlb.Entry{}) }
+func (f fullDecoupledTLB) resetCounters()            { f.t.ResetCounters() }
+func (f fullDecoupledTLB) reach(pages uint64) uint64 { return f.t.Reach(pages) }
 
 type setDecoupledTLB struct{ t *tlb.SetAssociative }
 
-func (s setDecoupledTLB) lookupHit(u uint64) bool { return s.t.LookupHit(u) }
-func (s setDecoupledTLB) insertEntry(u uint64)    { s.t.Insert(u, tlb.Entry{}) }
-func (s setDecoupledTLB) resetCounters()          { s.t.ResetCounters() }
+func (s setDecoupledTLB) lookupHit(u uint64) bool   { return s.t.LookupHit(u) }
+func (s setDecoupledTLB) insertEntry(u uint64)      { s.t.Insert(u, tlb.Entry{}) }
+func (s setDecoupledTLB) resetCounters()            { s.t.ResetCounters() }
+func (s setDecoupledTLB) reach(pages uint64) uint64 { return s.t.Reach(pages) }
 
 // Decoupled is the paper's algorithm Z (Theorem 4): a huge-page decoupling
 // scheme D combined with a TLB-replacement policy X over virtual huge
@@ -95,6 +100,7 @@ type Decoupled struct {
 	ramY   policy.Policy // Y: base-page cache of capacity m
 
 	costs       Costs
+	ex          *explain.Counters
 	failureHits uint64 // requests serviced while the page was in F
 }
 
@@ -152,9 +158,11 @@ func (z *Decoupled) Access(v uint64) {
 		// Evictions are free. (Multi-queue policies may evict even on a
 		// hit, when promoting v displaces another key.)
 		z.scheme.PageOut(victim)
+		z.ex.Evict()
 	}
 	if !hit {
-		z.costs.IOs++      // fetching v is one IO
+		z.costs.IOs++ // fetching v is one IO
+		z.ex.DemandIO()
 		z.scheme.PageIn(v) // may fail; failure tracked by D
 	}
 
@@ -163,6 +171,7 @@ func (z *Decoupled) Access(v uint64) {
 	// we model the entry as always holding the live value.
 	if !z.tlb.lookupHit(u) {
 		z.costs.TLBMisses++
+		z.ex.TLBMiss(u)
 		z.tlb.insertEntry(u)
 	}
 
@@ -171,6 +180,8 @@ func (z *Decoupled) Access(v uint64) {
 		// Theorem 4 failure handling: one temporary IO + a decoding miss.
 		z.costs.IOs++
 		z.costs.DecodingMisses++
+		z.ex.FailureIO(1)
+		z.ex.DecodeMiss()
 		z.failureHits++
 		return
 	}
@@ -194,8 +205,49 @@ func (z *Decoupled) Costs() Costs { return z.costs }
 // ResetCosts implements Algorithm.
 func (z *Decoupled) ResetCosts() {
 	z.costs = Costs{}
+	z.ex.Reset()
 	z.failureHits = 0
 	z.tlb.resetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (z *Decoupled) EnableExplain() {
+	if z.ex == nil {
+		z.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (z *Decoupled) Explain() *explain.Counters { return z.ex }
+
+// ExplainGauges implements Gauger: RAM headroom against the derived δ,
+// TLB reach at hmax granularity, and — when the allocator exposes bucket
+// loads — the load histogram with the Theorem 2 bound evaluated at the
+// target load λ = m/n, the bound-monitor comparison line for MaxLoad.
+func (z *Decoupled) ExplainGauges() (explain.Gauges, bool) {
+	g := occupancyGauges(z.scheme.Resident(), z.params.P)
+	g.DeltaTarget = z.params.Delta
+	g.CoveragePages = uint64(z.params.HMax)
+	g.TLBReachPages = z.tlb.reach(uint64(z.params.HMax))
+	if la, ok := z.scheme.Allocator().(interface{ LoadHistogram() []int }); ok && z.params.NumBuckets > 0 {
+		hist := la.LoadHistogram()
+		var balls uint64
+		maxLoad := 0
+		for load, count := range hist {
+			if count > 0 {
+				maxLoad = load
+				balls += uint64(load) * uint64(count)
+			}
+		}
+		g.HasLoads = true
+		g.Buckets = z.params.NumBuckets
+		g.LoadHist = hist
+		g.MaxLoad = maxLoad
+		g.AvgLoad = float64(balls) / float64(z.params.NumBuckets)
+		lambda := float64(z.params.MaxResident) / float64(z.params.NumBuckets)
+		g.Theorem2Bound = ballsbins.Theorem2Bound(lambda, int(z.params.NumBuckets))
+	}
+	return g, true
 }
 
 // Name implements Algorithm.

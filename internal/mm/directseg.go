@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"addrxlat/internal/dense"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -51,6 +52,7 @@ type DirectSegment struct {
 	populated *dense.Bitset // segment pages demand-loaded so far
 
 	costs       Costs
+	ex          *explain.Counters
 	segmentHits uint64
 	pagingHits  uint64
 }
@@ -92,16 +94,22 @@ func (d *DirectSegment) Access(v uint64) {
 		// touch demand-loads the page into the pinned region.
 		if d.populated.Add(v) {
 			d.costs.IOs++
+			d.ex.DemandIO()
 		}
 		d.segmentHits++
 		return
 	}
 	d.pagingHits++
-	if hit, _ := d.ram.Access(v); !hit {
+	if hit, victim := d.ram.Access(v); !hit {
 		d.costs.IOs++
+		d.ex.DemandIO()
+		if victim != policy.NoEviction {
+			d.ex.Evict()
+		}
 	}
 	if _, ok := d.tlb.Lookup(v); !ok {
 		d.costs.TLBMisses++
+		d.ex.TLBMiss(v)
 		d.tlb.Insert(v, tlb.Entry{})
 	}
 }
@@ -119,7 +127,29 @@ func (d *DirectSegment) Costs() Costs { return d.costs }
 // ResetCosts implements Algorithm.
 func (d *DirectSegment) ResetCosts() {
 	d.costs = Costs{}
+	d.ex.Reset()
 	d.tlb.ResetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (d *DirectSegment) EnableExplain() {
+	if d.ex == nil {
+		d.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (d *DirectSegment) Explain() *explain.Counters { return d.ex }
+
+// ExplainGauges implements Gauger: the pinned segment plus the paged
+// remainder; TLB reach counts only the paged side (the segment needs no
+// entries — its reach is architectural, not cached).
+func (d *DirectSegment) ExplainGauges() (explain.Gauges, bool) {
+	resident := uint64(d.populated.Len()) + uint64(d.ram.Len())
+	g := occupancyGauges(resident, d.cfg.RAMPages)
+	g.CoveragePages = 1
+	g.TLBReachPages = d.tlb.Reach(1)
+	return g, true
 }
 
 // Name implements Algorithm.

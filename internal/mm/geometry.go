@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -79,6 +80,7 @@ type Geometry struct {
 	cache translationCache
 	ram   policy.Policy
 	costs Costs
+	ex    *explain.Counters
 }
 
 var _ Algorithm = (*Geometry)(nil)
@@ -128,11 +130,16 @@ func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
 // Access implements Algorithm.
 func (g *Geometry) Access(v uint64) {
 	g.costs.Accesses++
-	if hit, _ := g.ram.Access(v); !hit {
+	if hit, victim := g.ram.Access(v); !hit {
 		g.costs.IOs++
+		g.ex.DemandIO()
+		if victim != policy.NoEviction {
+			g.ex.Evict()
+		}
 	}
 	if !g.cache.lookup(v) {
 		g.costs.TLBMisses++
+		g.ex.TLBMiss(v)
 		g.cache.insert(v)
 	}
 }
@@ -148,7 +155,27 @@ func (g *Geometry) AccessBatch(vs []uint64) {
 func (g *Geometry) Costs() Costs { return g.costs }
 
 // ResetCosts implements Algorithm.
-func (g *Geometry) ResetCosts() { g.costs = Costs{} }
+func (g *Geometry) ResetCosts() {
+	g.costs = Costs{}
+	g.ex.Reset()
+}
+
+// EnableExplain implements Explainer.
+func (g *Geometry) EnableExplain() {
+	if g.ex == nil {
+		g.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (g *Geometry) Explain() *explain.Counters { return g.ex }
+
+// ExplainGauges implements Gauger.
+func (g *Geometry) ExplainGauges() (explain.Gauges, bool) {
+	gg := occupancyGauges(uint64(g.ram.Len()), g.cfg.RAMPages)
+	gg.CoveragePages = 1
+	return gg, true
+}
 
 // Name implements Algorithm.
 func (g *Geometry) Name() string {

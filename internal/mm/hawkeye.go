@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"addrxlat/internal/dense"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -83,6 +84,7 @@ type HawkEye struct {
 	tick     int
 
 	costs      Costs
+	ex         *explain.Counters
 	promotions uint64
 	demotions  uint64
 }
@@ -128,11 +130,15 @@ func (m *HawkEye) evictUntilFits(need uint64) {
 
 func (m *HawkEye) dropUnit(id uint64) {
 	m.used -= m.pagesOf(id)
+	m.ex.Evict()
 	if isHugeUnit(id) {
 		r := unitRegion(id)
 		m.promoted.Remove(r)
 		m.demotions++
-		m.tlb.Invalidate(tlbHuge(r))
+		m.ex.Demote()
+		if m.tlb.Invalidate(tlbHuge(r)) {
+			m.ex.TLBInvalidated(tlbHuge(r))
+		}
 	} else {
 		v := unitRegion(id)
 		r := v / m.cfg.HugePageSize
@@ -141,7 +147,9 @@ func (m *HawkEye) dropUnit(id uint64) {
 		} else {
 			m.resident.Set(r, c-1)
 		}
-		m.tlb.Invalidate(tlbBase(v))
+		if m.tlb.Invalidate(tlbBase(v)) {
+			m.ex.TLBInvalidated(tlbBase(v))
+		}
 	}
 }
 
@@ -163,6 +171,7 @@ func (m *HawkEye) Access(v uint64) {
 		id := unitBase(v)
 		if !m.ram.Contains(id) {
 			m.costs.IOs++
+			m.ex.DemandIO()
 			m.evictUntilFits(1)
 			m.ram.Access(id)
 			m.used++
@@ -175,6 +184,7 @@ func (m *HawkEye) Access(v uint64) {
 
 	if _, ok := m.tlb.Lookup(tlbKey); !ok {
 		m.costs.TLBMisses++
+		m.ex.TLBMiss(tlbKey)
 		m.tlb.Insert(tlbKey, tlb.Entry{})
 	}
 
@@ -227,11 +237,14 @@ func (m *HawkEye) epochPromote() {
 func (m *HawkEye) promote(r uint64) {
 	have := uint64(m.resident.At(r))
 	m.costs.IOs += m.cfg.HugePageSize - have
+	m.ex.AmplifiedIO(m.cfg.HugePageSize - have)
 	start := r * m.cfg.HugePageSize
 	for v := start; v < start+m.cfg.HugePageSize; v++ {
 		if m.ram.Remove(unitBase(v)) {
 			m.used--
-			m.tlb.Invalidate(tlbBase(v))
+			if m.tlb.Invalidate(tlbBase(v)) {
+				m.ex.TLBInvalidated(tlbBase(v))
+			}
 		}
 	}
 	m.resident.Delete(r)
@@ -240,6 +253,7 @@ func (m *HawkEye) promote(r uint64) {
 	m.used += m.cfg.HugePageSize
 	m.promoted.Add(r)
 	m.promotions++
+	m.ex.Promote()
 }
 
 // AccessBatch implements Batcher.
@@ -255,7 +269,28 @@ func (m *HawkEye) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *HawkEye) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	m.tlb.ResetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (m *HawkEye) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *HawkEye) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger.
+func (m *HawkEye) ExplainGauges() (explain.Gauges, bool) {
+	g := occupancyGauges(m.used, m.cfg.RAMPages)
+	g.CoveragePages = m.cfg.HugePageSize
+	promoted := uint64(m.promoted.Len())
+	g.PromotedRegions = promoted
+	g.TLBReachPages = uint64(m.tlb.Len()) + promoted*(m.cfg.HugePageSize-1)
+	return g, true
 }
 
 // Name implements Algorithm.

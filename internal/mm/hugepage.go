@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -75,6 +76,7 @@ type HugePage struct {
 	ram policy.Policy // cache of huge-page ids, capacity P/h
 
 	costs Costs
+	ex    *explain.Counters
 }
 
 var _ Algorithm = (*HugePage)(nil)
@@ -110,12 +112,22 @@ func (m *HugePage) Access(v uint64) {
 	u := v >> m.shift
 
 	if m.stack != nil {
+		var wasFull bool
+		if m.ex != nil {
+			wasFull = uint64(m.stack.Zone2Len()) == m.cfg.RAMPages/m.cfg.HugePageSize
+		}
 		tlbHit, ramHit := m.stack.Access(u)
 		if !ramHit {
 			m.costs.IOs += m.cfg.HugePageSize
+			m.ex.DemandIO()
+			m.ex.AmplifiedIO(m.cfg.HugePageSize - 1)
+			if wasFull {
+				m.ex.Evict()
+			}
 		}
 		if !tlbHit {
 			m.costs.TLBMisses++
+			m.ex.TLBMiss(u)
 		}
 		return
 	}
@@ -123,20 +135,26 @@ func (m *HugePage) Access(v uint64) {
 	// RAM first: ensure the huge page containing v is resident. A fault
 	// moves all h constituent pages (cost h), possibly evicting another
 	// huge page (evictions free).
-	if hit, _ := m.ram.Access(u); !hit {
+	if hit, victim := m.ram.Access(u); !hit {
 		m.costs.IOs += m.cfg.HugePageSize
+		m.ex.DemandIO()
+		m.ex.AmplifiedIO(m.cfg.HugePageSize - 1)
+		if victim != policy.NoEviction {
+			m.ex.Evict()
+		}
 	}
 
 	// TLB: one entry covers the whole huge page.
 	if _, ok := m.tlb.Lookup(u); !ok {
 		m.costs.TLBMisses++
+		m.ex.TLBMiss(u)
 		m.tlb.Insert(u, tlb.Entry{Phys: u})
 	}
 }
 
 // AccessBatch implements Batcher.
 func (m *HugePage) AccessBatch(vs []uint64) {
-	if st := m.stack; st != nil {
+	if st := m.stack; st != nil && m.ex == nil {
 		h := m.cfg.HugePageSize
 		shift := m.shift
 		var ios, tlbMisses uint64
@@ -165,9 +183,30 @@ func (m *HugePage) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *HugePage) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	if m.tlb != nil {
 		m.tlb.ResetCounters()
 	}
+}
+
+// EnableExplain implements Explainer.
+func (m *HugePage) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *HugePage) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger: RAM occupancy at huge-page granularity
+// and the TLB's current reach (h pages per entry).
+func (m *HugePage) ExplainGauges() (explain.Gauges, bool) {
+	h := m.cfg.HugePageSize
+	g := occupancyGauges(uint64(m.ResidentHugePages())*h, m.cfg.RAMPages)
+	g.CoveragePages = h
+	g.TLBReachPages = uint64(m.TLBLen()) * h
+	return g, true
 }
 
 // Name implements Algorithm.

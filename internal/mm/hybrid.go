@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"addrxlat/internal/core"
+	"addrxlat/internal/explain"
 )
 
 // HybridConfig configures the Section 8 hybrid: huge-page decoupling over
@@ -28,6 +29,7 @@ type Hybrid struct {
 	inner *Decoupled
 	g     uint64
 	costs Costs
+	ex    *explain.Counters
 }
 
 var _ Algorithm = (*Hybrid)(nil)
@@ -55,6 +57,10 @@ func NewHybrid(cfg HybridConfig) (*Hybrid, error) {
 
 // Access implements Algorithm.
 func (h *Hybrid) Access(v uint64) {
+	var exBefore explain.Counters
+	if h.ex != nil {
+		exBefore = h.inner.ex.Snapshot()
+	}
 	before := h.inner.Costs()
 	h.inner.Access(v / h.g)
 	after := h.inner.Costs()
@@ -64,6 +70,15 @@ func (h *Hybrid) Access(v uint64) {
 	h.costs.IOs += (after.IOs - before.IOs) * h.g
 	h.costs.TLBMisses += after.TLBMisses - before.TLBMisses
 	h.costs.DecodingMisses += after.DecodingMisses - before.DecodingMisses
+
+	if h.ex != nil {
+		d := explain.Sub(h.inner.ex.Snapshot(), exBefore)
+		// Each group fault moves g base pages: the g−1 beyond the demanded
+		// (or failure-serviced) one are amplification, mirroring the IO×g
+		// scaling above so the attributed total still matches Costs.IOs.
+		d.IOAmplified += (d.IODemand + d.IOFailure) * (h.g - 1)
+		h.ex.Merge(d)
+	}
 }
 
 // AccessBatch implements Batcher.
@@ -79,7 +94,35 @@ func (h *Hybrid) Costs() Costs { return h.costs }
 // ResetCosts implements Algorithm.
 func (h *Hybrid) ResetCosts() {
 	h.costs = Costs{}
+	h.ex.Reset()
 	h.inner.ResetCosts()
+}
+
+// EnableExplain implements Explainer: attribution is computed per access
+// by diffing the inner algorithm's counters, so both layers enable.
+func (h *Hybrid) EnableExplain() {
+	if h.ex == nil {
+		h.ex = &explain.Counters{}
+		h.inner.EnableExplain()
+	}
+}
+
+// Explain implements Explainer.
+func (h *Hybrid) Explain() *explain.Counters { return h.ex }
+
+// ExplainGauges implements Gauger: the inner gauges rescaled from group
+// units to base pages (ratios are scale-invariant; bucket loads describe
+// the group-granular allocator and pass through).
+func (h *Hybrid) ExplainGauges() (explain.Gauges, bool) {
+	g, ok := h.inner.ExplainGauges()
+	if !ok {
+		return g, false
+	}
+	g.ResidentPages *= h.g
+	g.RAMPages *= h.g
+	g.TLBReachPages *= h.g
+	g.CoveragePages = h.CoveragePages()
+	return g, true
 }
 
 // Name implements Algorithm.

@@ -44,10 +44,12 @@ func (c *Costs) Add(other Costs) {
 	c.Accesses += other.Accesses
 }
 
-// String formats the counters compactly.
+// String formats the counters compactly: the three cost counters first
+// (IOs cost 1; TLB and decoding misses cost ε), then the access count,
+// which is a rate denominator rather than a cost.
 func (c Costs) String() string {
-	return fmt.Sprintf("accesses=%d ios=%d tlb_misses=%d decode_misses=%d",
-		c.Accesses, c.IOs, c.TLBMisses, c.DecodingMisses)
+	return fmt.Sprintf("ios=%d tlb_misses=%d decode_misses=%d accesses=%d",
+		c.IOs, c.TLBMisses, c.DecodingMisses, c.Accesses)
 }
 
 // Algorithm is a memory-management algorithm servicing one request at a

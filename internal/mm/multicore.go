@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -45,8 +46,15 @@ type MultiCore struct {
 	ram  policy.Policy // shared, huge-page-granular
 
 	costs      Costs
+	ex         *explain.Counters
 	shootdowns uint64
 	perCore    []Costs
+}
+
+// multiCoreKey tags the classifier keyspace per (huge page, core): each
+// core's TLB caches its own copy of the translation.
+func (m *MultiCore) multiCoreKey(u uint64, core int) uint64 {
+	return u*uint64(m.cfg.Cores) + uint64(core)
 }
 
 // NewMultiCore builds the model.
@@ -83,12 +91,17 @@ func (m *MultiCore) AccessOn(core int, v uint64) {
 	if !hit {
 		m.costs.IOs += m.cfg.HugePageSize
 		m.perCore[core].IOs += m.cfg.HugePageSize
+		m.ex.DemandIO()
+		m.ex.AmplifiedIO(m.cfg.HugePageSize - 1)
 		if victim != policy.NoEviction {
+			m.ex.Evict()
 			// Shootdown: the evicted huge page's translation leaves every
 			// core's TLB.
-			for _, t := range m.tlbs {
+			for c, t := range m.tlbs {
 				if t.Invalidate(victim) {
 					m.shootdowns++
+					m.ex.Shootdown()
+					m.ex.TLBInvalidated(m.multiCoreKey(victim, c))
 				}
 			}
 		}
@@ -97,6 +110,7 @@ func (m *MultiCore) AccessOn(core int, v uint64) {
 	if _, ok := m.tlbs[core].Lookup(u); !ok {
 		m.costs.TLBMisses++
 		m.perCore[core].TLBMisses++
+		m.ex.TLBMiss(m.multiCoreKey(u, core))
 		m.tlbs[core].Insert(u, tlb.Entry{})
 	}
 }
@@ -111,9 +125,32 @@ func (m *MultiCore) CoreCosts(core int) Costs { return m.perCore[core] }
 // shared-RAM evictions.
 func (m *MultiCore) Shootdowns() uint64 { return m.shootdowns }
 
+// EnableExplain implements Explainer.
+func (m *MultiCore) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *MultiCore) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger: shared RAM occupancy and the summed
+// reach of the per-core TLBs.
+func (m *MultiCore) ExplainGauges() (explain.Gauges, bool) {
+	h := m.cfg.HugePageSize
+	g := occupancyGauges(uint64(m.ram.Len())*h, m.cfg.RAMPages)
+	g.CoveragePages = h
+	for _, t := range m.tlbs {
+		g.TLBReachPages += t.Reach(h)
+	}
+	return g, true
+}
+
 // ResetCosts zeroes all counters.
 func (m *MultiCore) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	m.shootdowns = 0
 	for i := range m.perCore {
 		m.perCore[i] = Costs{}

@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -60,8 +61,14 @@ type Nested struct {
 	hostRAM  policy.Policy
 
 	costs          Costs
+	ex             *explain.Counters
 	nestedWalkRefs uint64 // extra host references caused by guest misses
 }
+
+// Nested explain-classifier keyspace: guest entries tagged 0, host tagged 1
+// (the two TLBs have independent keyspaces).
+func nestedGuestKey(gu uint64) uint64 { return gu << 1 }
+func nestedHostKey(hu uint64) uint64  { return hu<<1 | 1 }
 
 var _ Algorithm = (*Nested)(nil)
 var _ Batcher = (*Nested)(nil)
@@ -91,11 +98,17 @@ func NewNested(cfg NestedConfig) (*Nested, error) {
 // and host RAM, accruing costs.
 func (n *Nested) hostReference(gpa uint64) {
 	hu := gpa / n.cfg.HostHugePageSize
-	if hit, _ := n.hostRAM.Access(hu); !hit {
+	if hit, victim := n.hostRAM.Access(hu); !hit {
 		n.costs.IOs += n.cfg.HostHugePageSize
+		n.ex.DemandIO()
+		n.ex.AmplifiedIO(n.cfg.HostHugePageSize - 1)
+		if victim != policy.NoEviction {
+			n.ex.Evict()
+		}
 	}
 	if _, ok := n.hostTLB.Lookup(hu); !ok {
 		n.costs.TLBMisses++
+		n.ex.TLBMiss(nestedHostKey(hu))
 		n.hostTLB.Insert(hu, tlb.Entry{})
 	}
 }
@@ -107,12 +120,14 @@ func (n *Nested) Access(v uint64) {
 	gu := v / n.cfg.GuestHugePageSize
 	if _, ok := n.guestTLB.Lookup(gu); !ok {
 		n.costs.TLBMisses++
+		n.ex.TLBMiss(nestedGuestKey(gu))
 		n.guestTLB.Insert(gu, tlb.Entry{})
 		// The guest page-table walk reads guest-physical memory: one
 		// extra host reference (to the guest's page-table page, which we
 		// place alongside the data region).
 		walkPage := v/512 + 1<<62 // page-table pages live in their own region
 		n.nestedWalkRefs++
+		n.ex.NestedWalk()
 		n.hostReference(walkPage)
 	}
 	n.hostReference(v)
@@ -131,9 +146,30 @@ func (n *Nested) Costs() Costs { return n.costs }
 // ResetCosts implements Algorithm.
 func (n *Nested) ResetCosts() {
 	n.costs = Costs{}
+	n.ex.Reset()
 	n.guestTLB.ResetCounters()
 	n.hostTLB.ResetCounters()
 	n.nestedWalkRefs = 0
+}
+
+// EnableExplain implements Explainer.
+func (n *Nested) EnableExplain() {
+	if n.ex == nil {
+		n.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (n *Nested) Explain() *explain.Counters { return n.ex }
+
+// ExplainGauges implements Gauger: host RAM occupancy and the combined
+// reach of the two TLB levels.
+func (n *Nested) ExplainGauges() (explain.Gauges, bool) {
+	h := n.cfg.HostHugePageSize
+	g := occupancyGauges(uint64(n.hostRAM.Len())*h, n.cfg.RAMPages)
+	g.CoveragePages = h
+	g.TLBReachPages = n.guestTLB.Reach(n.cfg.GuestHugePageSize) + n.hostTLB.Reach(h)
+	return g, true
 }
 
 // Name implements Algorithm.

@@ -3,6 +3,7 @@ package mm
 import (
 	"fmt"
 
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 )
 
@@ -18,6 +19,7 @@ type TLBOnly struct {
 	hmax  uint64
 	cache policy.Policy
 	costs Costs
+	ex    *explain.Counters
 }
 
 var _ Algorithm = (*TLBOnly)(nil)
@@ -41,6 +43,7 @@ func (x *TLBOnly) Access(v uint64) {
 	x.costs.Accesses++
 	if hit, _ := x.cache.Access(v / x.hmax); !hit {
 		x.costs.TLBMisses++
+		x.ex.TLBMiss(v / x.hmax)
 	}
 }
 
@@ -55,7 +58,20 @@ func (x *TLBOnly) AccessBatch(vs []uint64) {
 func (x *TLBOnly) Costs() Costs { return x.costs }
 
 // ResetCosts implements Algorithm.
-func (x *TLBOnly) ResetCosts() { x.costs = Costs{} }
+func (x *TLBOnly) ResetCosts() {
+	x.costs = Costs{}
+	x.ex.Reset()
+}
+
+// EnableExplain implements Explainer.
+func (x *TLBOnly) EnableExplain() {
+	if x.ex == nil {
+		x.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (x *TLBOnly) Explain() *explain.Counters { return x.ex }
 
 // Name implements Algorithm.
 func (x *TLBOnly) Name() string {
@@ -67,6 +83,7 @@ func (x *TLBOnly) Name() string {
 type RAMOnly struct {
 	cache policy.Policy
 	costs Costs
+	ex    *explain.Counters
 }
 
 var _ Algorithm = (*RAMOnly)(nil)
@@ -87,8 +104,12 @@ func NewRAMOnly(capacity uint64, kind policy.Kind, seed uint64) (*RAMOnly, error
 // Access implements Algorithm.
 func (y *RAMOnly) Access(v uint64) {
 	y.costs.Accesses++
-	if hit, _ := y.cache.Access(v); !hit {
+	if hit, victim := y.cache.Access(v); !hit {
 		y.costs.IOs++
+		y.ex.DemandIO()
+		if victim != policy.NoEviction {
+			y.ex.Evict()
+		}
 	}
 }
 
@@ -103,7 +124,25 @@ func (y *RAMOnly) AccessBatch(vs []uint64) {
 func (y *RAMOnly) Costs() Costs { return y.costs }
 
 // ResetCosts implements Algorithm.
-func (y *RAMOnly) ResetCosts() { y.costs = Costs{} }
+func (y *RAMOnly) ResetCosts() {
+	y.costs = Costs{}
+	y.ex.Reset()
+}
+
+// EnableExplain implements Explainer.
+func (y *RAMOnly) EnableExplain() {
+	if y.ex == nil {
+		y.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (y *RAMOnly) Explain() *explain.Counters { return y.ex }
+
+// ExplainGauges implements Gauger: Y's occupancy over its own capacity.
+func (y *RAMOnly) ExplainGauges() (explain.Gauges, bool) {
+	return occupancyGauges(uint64(y.cache.Len()), uint64(y.cache.Cap())), true
+}
 
 // Name implements Algorithm.
 func (y *RAMOnly) Name() string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"addrxlat/internal/dense"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -64,6 +65,7 @@ type Superpage struct {
 	reservedFree uint64
 
 	costs       Costs
+	ex          *explain.Counters
 	promotions  uint64
 	preemptions uint64
 }
@@ -140,6 +142,7 @@ func (m *Superpage) makeRoom(need uint64) {
 				m.used -= freed
 				m.reservedFree -= freed
 				m.preemptions++
+				m.ex.Preempt()
 			}
 			return m.used+need > m.cfg.RAMPages && m.reservedFree > 0
 		})
@@ -158,16 +161,22 @@ func (m *Superpage) makeRoom(need uint64) {
 func (m *Superpage) dropRegion(r uint64) {
 	reg := &m.regions[r]
 	m.used -= m.charge(reg)
+	m.ex.Evict()
 	if reg.reserved && !reg.promoted {
 		m.reservedFree -= m.cfg.HugePageSize - uint64(reg.pop)
 	}
 	start := r * m.cfg.HugePageSize
 	if reg.promoted {
-		m.tlb.Invalidate(tlbHuge(r))
+		m.ex.Demote()
+		if m.tlb.Invalidate(tlbHuge(r)) {
+			m.ex.TLBInvalidated(tlbHuge(r))
+		}
 	}
 	for o := uint64(0); o < m.cfg.HugePageSize; o++ {
-		if m.populated.Remove(start + o) && !reg.promoted {
-			m.tlb.Invalidate(tlbBase(start + o))
+		if m.populated.Remove(start+o) && !reg.promoted {
+			if m.tlb.Invalidate(tlbBase(start + o)) {
+				m.ex.TLBInvalidated(tlbBase(start + o))
+			}
 		}
 	}
 	*reg = spRegion{}
@@ -201,6 +210,7 @@ func (m *Superpage) Access(v uint64) {
 			m.reservedFree--
 		}
 		m.costs.IOs++
+		m.ex.DemandIO()
 		m.lru.Access(r)
 	} else {
 		m.lru.Access(r)
@@ -223,6 +233,7 @@ func (m *Superpage) Access(v uint64) {
 				m.reservedFree--
 			}
 			m.costs.IOs++
+			m.ex.DemandIO()
 		}
 	}
 
@@ -230,9 +241,12 @@ func (m *Superpage) Access(v uint64) {
 	if reg.reserved && !reg.promoted && uint64(reg.pop) == m.cfg.HugePageSize {
 		reg.promoted = true
 		m.promotions++
+		m.ex.Promote()
 		start := r * m.cfg.HugePageSize
 		for o := uint64(0); o < m.cfg.HugePageSize; o++ {
-			m.tlb.Invalidate(tlbBase(start + o))
+			if m.tlb.Invalidate(tlbBase(start + o)) {
+				m.ex.TLBInvalidated(tlbBase(start + o))
+			}
 		}
 	}
 
@@ -244,6 +258,7 @@ func (m *Superpage) Access(v uint64) {
 	}
 	if _, ok := m.tlb.Lookup(key); !ok {
 		m.costs.TLBMisses++
+		m.ex.TLBMiss(key)
 		m.tlb.Insert(key, tlb.Entry{})
 	}
 }
@@ -268,7 +283,37 @@ func (m *Superpage) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *Superpage) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	m.tlb.ResetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (m *Superpage) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *Superpage) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger. Fragmentation is the reservation
+// over-allocation: pages charged to RAM that back no data (h − populated
+// over reserved, unpromoted regions), the quantity preemption reclaims.
+func (m *Superpage) ExplainGauges() (explain.Gauges, bool) {
+	g := occupancyGauges(m.used, m.cfg.RAMPages)
+	g.FragmentedPages = m.reservedFree
+	g.Fragmentation = float64(m.reservedFree) / float64(m.cfg.RAMPages)
+	g.CoveragePages = m.cfg.HugePageSize
+	var promoted uint64
+	for i := range m.regions {
+		if m.regions[i].promoted {
+			promoted++
+		}
+	}
+	g.PromotedRegions = promoted
+	g.TLBReachPages = uint64(m.tlb.Len()) + promoted*(m.cfg.HugePageSize-1)
+	return g, true
 }
 
 // Name implements Algorithm.

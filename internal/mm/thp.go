@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"addrxlat/internal/dense"
+	"addrxlat/internal/explain"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/tlb"
 )
@@ -66,6 +67,7 @@ type THP struct {
 	used     uint64               // resident base pages across all units
 
 	costs      Costs
+	ex         *explain.Counters
 	promotions uint64
 	demotions  uint64
 }
@@ -124,11 +126,15 @@ func (m *THP) evictUntilFits(need uint64) {
 // dropUnit releases a unit's pages and TLB entries.
 func (m *THP) dropUnit(id uint64) {
 	m.used -= m.pagesOf(id)
+	m.ex.Evict()
 	if isHugeUnit(id) {
 		r := unitRegion(id)
 		m.promoted.Remove(r)
 		m.demotions++
-		m.tlb.Invalidate(tlbHuge(r))
+		m.ex.Demote()
+		if m.tlb.Invalidate(tlbHuge(r)) {
+			m.ex.TLBInvalidated(tlbHuge(r))
+		}
 	} else {
 		v := unitRegion(id) // same shift
 		r := v / m.cfg.HugePageSize
@@ -137,7 +143,9 @@ func (m *THP) dropUnit(id uint64) {
 		} else {
 			m.resident.Set(r, c-1)
 		}
-		m.tlb.Invalidate(tlbBase(v))
+		if m.tlb.Invalidate(tlbBase(v)) {
+			m.ex.TLBInvalidated(tlbBase(v))
+		}
 	}
 }
 
@@ -156,6 +164,7 @@ func (m *THP) Access(v uint64) {
 		if !m.ram.Contains(id) {
 			// Base-page fault: one IO.
 			m.costs.IOs++
+			m.ex.DemandIO()
 			m.evictUntilFits(1)
 			m.ram.Access(id)
 			m.used++
@@ -176,6 +185,7 @@ func (m *THP) Access(v uint64) {
 
 	if _, ok := m.tlb.Lookup(tlbKey); !ok {
 		m.costs.TLBMisses++
+		m.ex.TLBMiss(tlbKey)
 		m.tlb.Insert(tlbKey, tlb.Entry{})
 	}
 }
@@ -187,6 +197,7 @@ func (m *THP) promote(r uint64) {
 	have := uint64(m.resident.At(r))
 	missing := m.cfg.HugePageSize - have
 	m.costs.IOs += missing
+	m.ex.AmplifiedIO(missing)
 
 	// Retire the region's base units (their pages fold into the huge
 	// unit) and their base TLB entries.
@@ -195,7 +206,9 @@ func (m *THP) promote(r uint64) {
 		id := unitBase(v)
 		if m.ram.Remove(id) {
 			m.used--
-			m.tlb.Invalidate(tlbBase(v))
+			if m.tlb.Invalidate(tlbBase(v)) {
+				m.ex.TLBInvalidated(tlbBase(v))
+			}
 		}
 	}
 	m.resident.Delete(r)
@@ -206,6 +219,7 @@ func (m *THP) promote(r uint64) {
 	m.used += m.cfg.HugePageSize
 	m.promoted.Add(r)
 	m.promotions++
+	m.ex.Promote()
 }
 
 // AccessBatch implements Batcher.
@@ -221,7 +235,30 @@ func (m *THP) Costs() Costs { return m.costs }
 // ResetCosts implements Algorithm.
 func (m *THP) ResetCosts() {
 	m.costs = Costs{}
+	m.ex.Reset()
 	m.tlb.ResetCounters()
+}
+
+// EnableExplain implements Explainer.
+func (m *THP) EnableExplain() {
+	if m.ex == nil {
+		m.ex = &explain.Counters{}
+	}
+}
+
+// Explain implements Explainer.
+func (m *THP) Explain() *explain.Counters { return m.ex }
+
+// ExplainGauges implements Gauger: RAM occupancy in base pages, the mix of
+// promoted regions, and current TLB reach (huge entries cover h pages,
+// base entries one).
+func (m *THP) ExplainGauges() (explain.Gauges, bool) {
+	g := occupancyGauges(m.used, m.cfg.RAMPages)
+	g.CoveragePages = m.cfg.HugePageSize
+	promoted := uint64(m.promoted.Len())
+	g.PromotedRegions = promoted
+	g.TLBReachPages = uint64(m.tlb.Len()) + promoted*(m.cfg.HugePageSize-1)
+	return g, true
 }
 
 // Name implements Algorithm.

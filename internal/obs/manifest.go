@@ -46,6 +46,9 @@ type RunRecord struct {
 	CacheMisses uint64        `json:"cache_misses,omitempty"`
 	Skipped     bool          `json:"skipped,omitempty"`
 	Phases      []PhaseRecord `json:"phases,omitempty"`
+	// Explain summarizes the experiment's cost attribution (summed across
+	// rows, phases and algorithms) when the run recorded it (-explain).
+	Explain *Counters `json:"explain,omitempty"`
 }
 
 // Manifest records everything needed to reproduce and audit one CLI
@@ -53,29 +56,32 @@ type RunRecord struct {
 // results directory, so each emitted TSV can be traced back to the exact
 // configuration, code revision, and cache state that produced it.
 type Manifest struct {
-	Command     string            `json:"command"`
-	Args        []string          `json:"args,omitempty"`
-	Config      map[string]string `json:"config,omitempty"`
-	Seeds       []uint64          `json:"seeds,omitempty"`
-	GoVersion   string            `json:"go_version"`
-	OS          string            `json:"os"`
-	Arch        string            `json:"arch"`
-	GitRevision string            `json:"git_revision,omitempty"`
-	GitDirty    bool              `json:"git_dirty,omitempty"`
-	Start       time.Time         `json:"start"`
-	WallSeconds float64           `json:"wall_seconds"`
+	Command string            `json:"command"`
+	Args    []string          `json:"args,omitempty"`
+	Config  map[string]string `json:"config,omitempty"`
+	Seeds   []uint64          `json:"seeds,omitempty"`
+	// FaultPlan records the armed ADDRXLAT_FAULTS plan, so a table produced
+	// under fault injection can never masquerade as a clean run.
+	FaultPlan   string    `json:"fault_plan,omitempty"`
+	GoVersion   string    `json:"go_version"`
+	OS          string    `json:"os"`
+	Arch        string    `json:"arch"`
+	GitRevision string    `json:"git_revision,omitempty"`
+	GitDirty    bool      `json:"git_dirty,omitempty"`
+	Start       time.Time `json:"start"`
+	WallSeconds float64   `json:"wall_seconds"`
 	// Status tracks the run's lifecycle: "running" (written at start so a
 	// crash leaves evidence), then "ok", "canceled", or "failed". Partial
 	// marks any manifest whose run did not complete cleanly; a partial
 	// manifest is the input to `figures -resume`.
-	Status      string            `json:"status,omitempty"`
-	Partial     bool              `json:"partial,omitempty"`
-	Error       string            `json:"error,omitempty"`
+	Status  string `json:"status,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
 	// Journal is the path of the sweep journal witnessing per-cell and
 	// per-experiment completion for this run (see internal/journal).
-	Journal     string            `json:"journal,omitempty"`
-	Experiments []RunRecord       `json:"experiments,omitempty"`
-	Cache       *CacheStats       `json:"cache,omitempty"`
+	Journal     string      `json:"journal,omitempty"`
+	Experiments []RunRecord `json:"experiments,omitempty"`
+	Cache       *CacheStats `json:"cache,omitempty"`
 }
 
 // NewManifest starts a manifest for the named command, stamping the

@@ -19,7 +19,7 @@ type Point struct {
 	Accesses       uint64 `json:"accesses"`
 	IOs            uint64 `json:"ios"`
 	TLBMisses      uint64 `json:"tlb_misses"`
-	DecodingMisses uint64 `json:"decoding_misses"`
+	DecodingMisses uint64 `json:"decode_misses"`
 }
 
 // Series is one algorithm's cost-over-time curve within one phase of one
@@ -47,9 +47,10 @@ type seriesKey struct{ row, phase, alg string }
 type Recorder struct {
 	interval uint64
 
-	mu     sync.Mutex
-	series map[seriesKey]*Series
-	phases []PhaseRecord
+	mu       sync.Mutex
+	series   map[seriesKey]*Series
+	phases   []PhaseRecord
+	explains map[seriesKey]*ExplainSeries
 }
 
 // NewRecorder returns a Recorder that records a curve point whenever a
@@ -58,7 +59,11 @@ type Recorder struct {
 // recording entirely — phase records are still collected, so manifests
 // stay complete when curve sampling is off.
 func NewRecorder(interval uint64) *Recorder {
-	return &Recorder{interval: interval, series: make(map[seriesKey]*Series)}
+	return &Recorder{
+		interval: interval,
+		series:   make(map[seriesKey]*Series),
+		explains: make(map[seriesKey]*ExplainSeries),
+	}
 }
 
 // RowSample implements the experiments Probe hook: it records alg's

@@ -118,6 +118,12 @@ func (s *SetAssociative) Len() int {
 	return n
 }
 
+// Reach returns the address-space coverage of the live entries in base
+// pages, given the pages each entry translates.
+func (s *SetAssociative) Reach(pagesPerEntry uint64) uint64 {
+	return uint64(s.Len()) * pagesPerEntry
+}
+
 // ResetCounters zeroes aggregate and per-set counters.
 func (s *SetAssociative) ResetCounters() {
 	s.hits, s.misses = 0, 0

@@ -213,6 +213,13 @@ func (t *TLB) Len() int {
 // Cap returns the entry capacity ℓ.
 func (t *TLB) Cap() int { return t.entries }
 
+// Reach returns the address-space coverage of the live entries in base
+// pages, given the pages each entry translates (h, or hmax for decoupled
+// schemes) — the quantity TLB-coverage gauges report.
+func (t *TLB) Reach(pagesPerEntry uint64) uint64 {
+	return uint64(t.Len()) * pagesPerEntry
+}
+
 // ResetCounters zeroes the hit/miss counters (used after cache warmup, as
 // in the paper's measurement methodology).
 func (t *TLB) ResetCounters() {
