@@ -371,6 +371,85 @@ func BenchmarkAccessSuperpage(b *testing.B) {
 	}
 }
 
+// benchAccessBatch drives a staged batch kernel in experiment-sized chunks
+// through one reused scratch, reporting per-access cost. ReportAllocs pins
+// the steady-state zero-allocation contract of the staged paths.
+func benchAccessBatch(b *testing.B, alg mm.Algorithm) {
+	gen, err := workload.NewBimodal(1<<12, 1<<18, 0.9999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Take(gen, 1<<20)
+	sb, ok := alg.(mm.StagedBatcher)
+	if !ok {
+		b.Fatalf("%s: not a StagedBatcher", alg.Name())
+	}
+	sc := &mm.Scratch{}
+	const chunk = 4096
+	sb.AccessBatchScratch(reqs[:chunk], sc) // size the scratch outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += chunk {
+		lo := i & (1<<20 - 1)
+		n := chunk
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		sb.AccessBatchScratch(reqs[lo:lo+n], sc)
+	}
+}
+
+// BenchmarkAccessBatchHugePage measures the fused columnar stack kernel.
+func BenchmarkAccessBatchHugePage(b *testing.B) {
+	alg, err := mm.NewHugePage(mm.HugePageConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAccessBatch(b, alg)
+}
+
+// BenchmarkAccessBatchDecoupled measures the two-pass column split (RAM/
+// decode pass, then the TLB probe column).
+func BenchmarkAccessBatchDecoupled(b *testing.B) {
+	z, err := mm.NewDecoupled(mm.DecoupledConfig{
+		Alloc:        core.IcebergAlloc,
+		RAMPages:     1 << 16,
+		VirtualPages: 1 << 18,
+		TLBEntries:   1536,
+		ValueBits:    64,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAccessBatch(b, z)
+}
+
+// BenchmarkAccessBatchTHP measures the fused in-order THP kernel.
+func BenchmarkAccessBatchTHP(b *testing.B) {
+	alg, err := mm.NewTHP(mm.THPConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAccessBatch(b, alg)
+}
+
+// BenchmarkAccessBatchSuperpage measures the fused reservation-based
+// superpage kernel.
+func BenchmarkAccessBatchSuperpage(b *testing.B) {
+	alg, err := mm.NewSuperpage(mm.SuperpageConfig{
+		HugePageSize: 64, TLBEntries: 1536, RAMPages: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAccessBatch(b, alg)
+}
+
 // BenchmarkGraph500TraceGeneration measures building the Figure 1c input.
 func BenchmarkGraph500TraceGeneration(b *testing.B) {
 	g, err := graph500.Generate(graph500.Config{Scale: 14, EdgeFactor: 16, Seed: 1})

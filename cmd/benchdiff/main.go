@@ -2,9 +2,10 @@
 // BENCH_*.json baseline — a benchstat-style report without the external
 // dependency. It reads benchmark output on stdin, matches benchmark names
 // against the baseline's "benchmarks" map (the after.ns_per_op numbers),
-// and prints a delta table. Benchmarks matching the -hot pattern fail the
-// run (exit 1) when they regress by more than -threshold; everything else
-// is report-only.
+// and prints a delta table plus a geomean summary. Benchmarks matching the
+// -hot pattern fail the run (exit 1) when they regress by more than
+// -threshold; everything else is report-only. With -json the report is
+// emitted as a machine-readable document instead of the table.
 //
 // Usage:
 //
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -38,6 +40,27 @@ type baseline struct {
 	Benchmarks map[string]entry `json:"benchmarks"`
 }
 
+// row is one benchmark's comparison, shared by the text and JSON renders.
+type row struct {
+	Name    string  `json:"name"`
+	BaseNs  float64 `json:"base_ns_per_op,omitempty"`
+	NowNs   float64 `json:"now_ns_per_op"`
+	Delta   float64 `json:"delta,omitempty"` // fractional: 0.05 = 5% slower
+	Hot     bool    `json:"hot"`
+	Verdict string  `json:"verdict"`
+}
+
+// report is the full comparison, JSON-ready.
+type report struct {
+	Baseline     string   `json:"baseline"`
+	BaselineDate string   `json:"baseline_date"`
+	Rows         []row    `json:"benchmarks"`
+	Missing      []row    `json:"missing,omitempty"` // in baseline, not measured
+	GeomeanDelta float64  `json:"geomean_delta"`     // fractional, over rows with a baseline
+	Compared     int      `json:"compared"`          // rows entering the geomean
+	Regressions  []string `json:"regressions,omitempty"`
+}
+
 // benchLine matches one result line of `go test -bench` output, e.g.
 // "BenchmarkAccessHugePage-8   92881926   12.66 ns/op   0 B/op".
 // The -N GOMAXPROCS suffix is stripped so names match the baseline keys.
@@ -49,6 +72,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.10, "max tolerated hot-path ns/op regression (fraction)")
 		hotPat    = flag.String("hot", `^Benchmark(Access|Fig1aBimodal|Replay|TraceDecode)`, "regexp of hot-path benchmarks gated by -threshold")
 		outPath   = flag.String("out", "", "also write the report to this file (for CI artifacts)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON on stdout instead of the table")
 	)
 	flag.Parse()
 	if *basePath == "" {
@@ -82,17 +106,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, regressions := diff(base, current, hot, *threshold)
-	fmt.Print(report)
+	rep := diff(base, current, hot, *threshold)
+	text := render(rep)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(text)
+	}
 	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+		if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
 	}
-	if len(regressions) > 0 {
+	if len(rep.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d hot-path regression(s) beyond %.0f%%: %s\n",
-			len(regressions), *threshold*100, strings.Join(regressions, ", "))
+			len(rep.Regressions), *threshold*100, strings.Join(rep.Regressions, ", "))
 		os.Exit(1)
 	}
 }
@@ -118,12 +152,11 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// diff renders the comparison table and returns the hot benchmarks whose
-// slowdown exceeded the threshold.
-func diff(base baseline, current map[string]float64, hot *regexp.Regexp, threshold float64) (string, []string) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "baseline: %s (%s)\n", base.PR, base.Date)
-	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "verdict")
+// diff builds the comparison: per-benchmark rows, the geomean of the
+// now/base ratios over every benchmark with a baseline, and the hot
+// benchmarks whose slowdown exceeded the threshold.
+func diff(base baseline, current map[string]float64, hot *regexp.Regexp, threshold float64) report {
+	rep := report{Baseline: base.PR, BaselineDate: base.Date}
 
 	names := make([]string, 0, len(current))
 	for name := range current {
@@ -131,38 +164,63 @@ func diff(base baseline, current map[string]float64, hot *regexp.Regexp, thresho
 	}
 	sort.Strings(names)
 
-	var regressions []string
+	var logSum float64
 	for _, name := range names {
 		ns := current[name]
+		r := row{Name: name, NowNs: ns, Hot: hot.MatchString(name)}
 		b, ok := base.Benchmarks[name]
 		if !ok || b.After == nil || b.After.NsPerOp <= 0 {
-			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s  no baseline\n", name, "-", ns, "-")
+			r.Verdict = "no baseline"
+			rep.Rows = append(rep.Rows, r)
 			continue
 		}
-		delta := (ns - b.After.NsPerOp) / b.After.NsPerOp
-		verdict := "ok"
+		r.BaseNs = b.After.NsPerOp
+		r.Delta = (ns - b.After.NsPerOp) / b.After.NsPerOp
+		logSum += math.Log(ns / b.After.NsPerOp)
+		rep.Compared++
+		r.Verdict = "ok"
 		switch {
-		case hot.MatchString(name) && delta > threshold:
-			verdict = "REGRESSION"
-			regressions = append(regressions, name)
-		case delta > threshold:
-			verdict = "slower (not gated)"
-		case delta < -threshold:
-			verdict = "faster"
+		case r.Hot && r.Delta > threshold:
+			r.Verdict = "REGRESSION"
+			rep.Regressions = append(rep.Regressions, name)
+		case r.Delta > threshold:
+			r.Verdict = "slower (not gated)"
+		case r.Delta < -threshold:
+			r.Verdict = "faster"
 		}
-		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%%  %s\n",
-			name, b.After.NsPerOp, ns, delta*100, verdict)
+		rep.Rows = append(rep.Rows, r)
 	}
-	var missing []string
+	if rep.Compared > 0 {
+		rep.GeomeanDelta = math.Exp(logSum/float64(rep.Compared)) - 1
+	}
 	for name, b := range base.Benchmarks {
 		if _, ok := current[name]; !ok && b.After != nil {
-			missing = append(missing, name)
+			rep.Missing = append(rep.Missing, row{Name: name, BaseNs: b.After.NsPerOp, Verdict: "not measured"})
 		}
 	}
-	sort.Strings(missing)
-	for _, name := range missing {
-		fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s  not measured\n",
-			name, base.Benchmarks[name].After.NsPerOp, "-", "-")
+	sort.Slice(rep.Missing, func(i, j int) bool { return rep.Missing[i].Name < rep.Missing[j].Name })
+	return rep
+}
+
+// render formats the report as the human-readable table.
+func render(rep report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "baseline: %s (%s)\n", rep.Baseline, rep.BaselineDate)
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "verdict")
+	for _, r := range rep.Rows {
+		if r.Verdict == "no baseline" {
+			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s  no baseline\n", r.Name, "-", r.NowNs, "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%%  %s\n",
+			r.Name, r.BaseNs, r.NowNs, r.Delta*100, r.Verdict)
 	}
-	return sb.String(), regressions
+	for _, r := range rep.Missing {
+		fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s  not measured\n", r.Name, r.BaseNs, "-", "-")
+	}
+	if rep.Compared > 0 {
+		fmt.Fprintf(&sb, "geomean delta: %+.1f%% over %d benchmarks with a baseline\n",
+			rep.GeomeanDelta*100, rep.Compared)
+	}
+	return sb.String()
 }

@@ -89,6 +89,21 @@ func (s *Scheme) PageOut(v uint64) {
 	s.enc.PageRemoved(v)
 }
 
+// ResolveMiss drives one packed miss from the batch kernels through the
+// allocator: the RAM-replacement policy's victim (if any) is paged out,
+// then v is paged in. It reports whether v suffered a paging failure and
+// entered F — reusing PageIn's own failure answer, where the scalar path
+// pays a separate IsFailed probe after the fact. State transitions are
+// exactly PageOut(victim); !PageIn(v), in that order: bucket loads depend
+// on the out-before-in sequence, so the batch resolve pass must preserve
+// it miss by miss.
+func (s *Scheme) ResolveMiss(v uint64, victim uint64, hasVictim bool) (failed bool) {
+	if hasVictim {
+		s.PageOut(victim)
+	}
+	return !s.PageIn(v)
+}
+
 // InActiveSet reports whether v is currently in the active set (including
 // pages suffering a paging failure).
 func (s *Scheme) InActiveSet(v uint64) bool {

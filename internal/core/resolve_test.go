@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"addrxlat/internal/hashutil"
+)
+
+// TestResolveMissMatchesSplitCalls pins the fused miss-resolution entry
+// point against the PageOut-then-PageIn sequence the scalar simulator
+// issues: identical residency, failure sets, decode answers, and page-in/
+// page-out tallies under LRU-like churn across all allocator kinds.
+func TestResolveMissMatchesSplitCalls(t *testing.T) {
+	for _, kind := range []AllocKind{FullyAssociative, SingleChoice, IcebergAlloc} {
+		t.Run(string(kind), func(t *testing.T) {
+			fused := mkScheme(t, kind, 1<<14, 9)
+			ref := mkScheme(t, kind, 1<<14, 9)
+			p := fused.Params()
+			rng := hashutil.NewRNG(13)
+			region := uint64(p.HMax) * 48
+
+			// Simulate an LRU-ish resident set: a queue of resident pages;
+			// a miss on a full set evicts the oldest (victim present),
+			// otherwise pages in without a victim.
+			resident := map[uint64]bool{}
+			var order []uint64
+			for step := 0; step < 30000; step++ {
+				v := rng.Uint64n(region)
+				if resident[v] {
+					continue // hit: schemes untouched, like the simulator's hit path
+				}
+				var victim uint64
+				hasVictim := false
+				if uint64(len(order)) >= p.MaxResident/2 {
+					victim, order = order[0], order[1:]
+					delete(resident, victim)
+					hasVictim = true
+				}
+				gotFailed := fused.ResolveMiss(v, victim, hasVictim)
+				if hasVictim {
+					ref.PageOut(victim)
+				}
+				wantFailed := !ref.PageIn(v)
+				if gotFailed != wantFailed {
+					t.Fatalf("step %d v=%d: fused failed=%v, split failed=%v", step, v, gotFailed, wantFailed)
+				}
+				resident[v] = true
+				order = append(order, v)
+
+				if fused.Resident() != ref.Resident() {
+					t.Fatalf("step %d: resident %d vs %d", step, fused.Resident(), ref.Resident())
+				}
+				if fused.PageIns() != ref.PageIns() || fused.PageOuts() != ref.PageOuts() {
+					t.Fatalf("step %d: tallies (%d,%d) vs (%d,%d)", step,
+						fused.PageIns(), fused.PageOuts(), ref.PageIns(), ref.PageOuts())
+				}
+				if fused.IsFailed(v) != ref.IsFailed(v) {
+					t.Fatalf("step %d: failure state of %d diverged", step, v)
+				}
+				if !fused.IsFailed(v) && fused.Lookup(v) != ref.Lookup(v) {
+					t.Fatalf("step %d: decode of %d diverged: %d vs %d", step, v, fused.Lookup(v), ref.Lookup(v))
+				}
+			}
+		})
+	}
+}

@@ -153,7 +153,14 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 			mm.EnableExplain(a)
 		}
 	}
-	if err := m.window(s, gen, m.warmupN, sims, cellErrs, names, mm.PhaseWarmup); err != nil {
+	// One scratch per cell, reused across every chunk of both phases: the
+	// cells of a row are served concurrently, so the staged kernels' column
+	// buffers cannot be shared, but within a cell they are steady-state.
+	scratch := make([]*mm.Scratch, len(sims))
+	for i := range scratch {
+		scratch[i] = &mm.Scratch{}
+	}
+	if err := m.window(s, gen, m.warmupN, sims, scratch, cellErrs, names, mm.PhaseWarmup); err != nil {
 		return cellErrs, err
 	}
 	for i, a := range sims {
@@ -161,18 +168,18 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 			a.ResetCosts()
 		}
 	}
-	return cellErrs, m.window(s, gen, m.measuredN, sims, cellErrs, names, mm.PhaseMeasured)
+	return cellErrs, m.window(s, gen, m.measuredN, sims, scratch, cellErrs, names, mm.PhaseMeasured)
 }
 
 // window streams one phase of the row and, with a probe attached, reports
 // the phase's access count and wall time when it completes.
-func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, cellErrs []error, names []string, phase string) error {
+func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, phase string) error {
 	row := string(m.workload)
 	if s.Probe == nil {
-		return streamWindow(s, gen, n, sims, cellErrs, names, row, phase)
+		return streamWindow(s, gen, n, sims, scratch, cellErrs, names, row, phase)
 	}
 	start := time.Now()
-	if err := streamWindow(s, gen, n, sims, cellErrs, names, row, phase); err != nil {
+	if err := streamWindow(s, gen, n, sims, scratch, cellErrs, names, row, phase); err != nil {
 		return err
 	}
 	s.Probe.RowPhase(row, phase, "", n, time.Since(start))
@@ -191,7 +198,7 @@ func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.A
 // cancellation) and the sweep-kill fault point (crash simulation for the
 // resume tests). A per-sim panic is recovered into cellErrs[i]; the sim
 // is excluded from all later chunks of the row.
-func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, cellErrs []error, names []string, row, phase string) error {
+func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, row, phase string) error {
 	ctx := s.context()
 	ep := s.explainProbe()
 	src, err := workload.NewSource(gen, streamChunk, n)
@@ -232,7 +239,7 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, c
 				faultinject.Fire(faultinject.CellPanic, row+"|"+names[i]) {
 				panic("injected cell fault")
 			}
-			accessAll(sims[i], chunk)
+			accessAll(sims[i], chunk, scratch[i])
 			if s.Probe != nil {
 				s.Probe.RowSample(row, phase, names[i], sims[i].Costs())
 				if ep != nil {
@@ -311,15 +318,11 @@ func (s Scale) runWarm(row string, a mm.Algorithm, warmup, measured []uint64) (m
 	return c, nil
 }
 
-// accessAll services one chunk on one simulator, batched when possible.
-func accessAll(a mm.Algorithm, vs []uint64) {
-	if b, ok := a.(mm.Batcher); ok {
-		b.AccessBatch(vs)
-		return
-	}
-	for _, v := range vs {
-		a.Access(v)
-	}
+// accessAll services one chunk on one simulator through the mm package's
+// single batch-dispatch point, handing the cell's reusable scratch to the
+// staged column kernels.
+func accessAll(a mm.Algorithm, vs []uint64, sc *mm.Scratch) {
+	mm.AccessChunk(a, vs, sc)
 }
 
 // materialize builds the row's warmup and measured windows as slices, for

@@ -43,7 +43,6 @@ func RunPhaseSampledCtx(ctx context.Context, a Algorithm, requests []uint64, eve
 // runPhaseCtx is runPhase with a context check before each interval. A
 // nil sampler disables sampling but keeps the chunked cancellation.
 func runPhaseCtx(ctx context.Context, a Algorithm, requests []uint64, every int, s Sampler, phase, name string) error {
-	b, isBatcher := a.(Batcher)
 	for len(requests) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -52,13 +51,7 @@ func runPhaseCtx(ctx context.Context, a Algorithm, requests []uint64, every int,
 		if len(requests) < n {
 			n = len(requests)
 		}
-		if isBatcher {
-			b.AccessBatch(requests[:n])
-		} else {
-			for _, v := range requests[:n] {
-				a.Access(v)
-			}
-		}
+		AccessChunk(a, requests[:n], nil)
 		if s != nil {
 			s.Sample(phase, name, a.Costs())
 		}

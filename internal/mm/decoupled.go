@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"addrxlat/internal/ballsbins"
 	"addrxlat/internal/core"
@@ -102,10 +103,19 @@ type Decoupled struct {
 	costs       Costs
 	ex          *explain.Counters
 	failureHits uint64 // requests serviced while the page was in F
+
+	// Staged-path specializations, resolved once at construction: the
+	// huge-page shift (HMax is a power of two), the concrete flat-LRU Y
+	// cache, and the concrete fully associative TLB. Either nil pointer
+	// routes AccessBatch to the scalar loop.
+	hshift  uint
+	ramFlat *policy.DenseLRU
+	tlbFlat *tlb.TLB
+	sc      Scratch
 }
 
 var _ Algorithm = (*Decoupled)(nil)
-var _ Batcher = (*Decoupled)(nil)
+var _ StagedBatcher = (*Decoupled)(nil)
 
 // NewDecoupled builds algorithm Z from the configuration.
 func NewDecoupled(cfg DecoupledConfig) (*Decoupled, error) {
@@ -138,13 +148,19 @@ func NewDecoupled(cfg DecoupledConfig) (*Decoupled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoupled{
+	z := &Decoupled{
 		cfg:    cfg,
 		params: params,
 		scheme: scheme,
 		tlb:    cache,
 		ramY:   ramY,
-	}, nil
+		hshift: uint(bits.TrailingZeros64(uint64(params.HMax))),
+	}
+	z.ramFlat, _ = ramY.(*policy.DenseLRU)
+	if ft, ok := cache.(fullDecoupledTLB); ok && ft.t.Flat() {
+		z.tlbFlat = ft.t
+	}
+	return z, nil
 }
 
 // Access implements Algorithm.
@@ -194,9 +210,100 @@ func (z *Decoupled) Access(v uint64) {
 
 // AccessBatch implements Batcher.
 func (z *Decoupled) AccessBatch(vs []uint64) {
-	for _, v := range vs {
-		z.Access(v)
+	z.AccessBatchScratch(vs, &z.sc)
+}
+
+// AccessBatchScratch implements StagedBatcher: the chunk is processed as
+// two independent column passes instead of one interleaved per-access
+// loop. The decoupling makes this exact: the TLB column lives in the
+// huge-page keyspace and the RAM/decode column in the base-page keyspace,
+// the scheme never invalidates or revalues TLB entries mid-stream, and
+// every cost counter is a sum — so reordering work *between* columns
+// (while preserving order *within* each) reproduces the scalar counters
+// bit for bit (TestStagedBatchMatchesScalar).
+//
+//   - Pass 1 walks the request column through the flat Y cache, resolving
+//     each miss through the allocator (victim out, v in) in stream order
+//     — bucket loads depend on that order — and servicing failed pages.
+//     Consecutive repeats of one page collapse: a repeat is a Y hit of
+//     the MRU entry with no scheme traffic, and its decode check is a
+//     pure re-read; only failed pages re-charge 1+ε per repeat.
+//   - Pass 2 probes the huge-page column through the flat TLB, packing
+//     the missed keys into the scratch's miss list; the list's length is
+//     the column's ε-cost and (with attribution armed) its keys replay
+//     into the TLB-miss classifier, whose state is per-key, so column
+//     order preserves its answers.
+//
+// Configurations off the flat fast paths (set-associative TLB, non-LRU
+// policies) keep the scalar loop.
+func (z *Decoupled) AccessBatchScratch(vs []uint64, sc *Scratch) {
+	ry, t := z.ramFlat, z.tlbFlat
+	if ry == nil || t == nil {
+		for _, v := range vs {
+			z.Access(v)
+		}
+		return
 	}
+
+	// Pass 1: RAM column (policy Y driving scheme D), plus failure/decode
+	// servicing, which reads only scheme state of the accesses before it.
+	scheme := z.scheme
+	var ios, decodes, fhits uint64
+	var prevV uint64
+	prevFailed, havePrev := false, false
+	for _, v := range vs {
+		if havePrev && v == prevV {
+			if prevFailed {
+				ios++
+				decodes++
+				fhits++
+				z.ex.FailureIO(1)
+				z.ex.DecodeMiss()
+			}
+			continue
+		}
+		havePrev, prevV = true, v
+		_, hit, victim := ry.AccessSlot(v)
+		if !hit {
+			ios++
+			z.ex.DemandIO()
+			if victim != policy.NoEviction {
+				z.ex.Evict()
+				prevFailed = scheme.ResolveMiss(v, victim, true)
+			} else {
+				prevFailed = scheme.ResolveMiss(v, 0, false)
+			}
+		} else {
+			prevFailed = scheme.IsFailed(v)
+		}
+		if prevFailed {
+			ios++
+			decodes++
+			fhits++
+			z.ex.FailureIO(1)
+			z.ex.DecodeMiss()
+			continue
+		}
+		if phys := scheme.Lookup(v); phys == core.NullAddress {
+			panic(fmt.Sprintf("mm: resident page %d failed to decode", v))
+		}
+	}
+
+	// Pass 2: TLB column probe over huge-page keys, misses packed into
+	// the scratch.
+	miss, _ := t.ProbeFill(vs, z.hshift, sc.miss(len(vs)))
+	sc.Miss = miss
+	if z.ex != nil {
+		for _, u := range miss {
+			z.ex.TLBMiss(u)
+		}
+	}
+
+	z.costs.Accesses += uint64(len(vs))
+	z.costs.IOs += ios
+	z.costs.TLBMisses += uint64(len(miss))
+	z.costs.DecodingMisses += decodes
+	z.failureHits += fhits
 }
 
 // Costs implements Algorithm.

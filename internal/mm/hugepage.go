@@ -80,7 +80,7 @@ type HugePage struct {
 }
 
 var _ Algorithm = (*HugePage)(nil)
-var _ Batcher = (*HugePage)(nil)
+var _ StagedBatcher = (*HugePage)(nil)
 
 // NewHugePage builds the baseline simulator.
 func NewHugePage(cfg HugePageConfig) (*HugePage, error) {
@@ -152,29 +152,32 @@ func (m *HugePage) Access(v uint64) {
 	}
 }
 
-// AccessBatch implements Batcher.
+// AccessBatch implements Batcher. On the merged-LRU path the whole chunk
+// is handed to the recency stack's columnar kernel: huge-page derivation,
+// run-length collapse of consecutive same-page requests, and the two-zone
+// LRU transitions all happen in one fused pass, and only the column's
+// total zone misses come back — multiplied into the cost counters here,
+// since every zone2 miss moves h pages and every zone1 miss is one TLB
+// insertion. With explain armed the per-access attribution (the eviction
+// gauge reads zone occupancy before each access) needs the scalar loop.
 func (m *HugePage) AccessBatch(vs []uint64) {
 	if st := m.stack; st != nil && m.ex == nil {
-		h := m.cfg.HugePageSize
-		shift := m.shift
-		var ios, tlbMisses uint64
-		for _, v := range vs {
-			tlbHit, ramHit := st.Access(v >> shift)
-			if !ramHit {
-				ios += h
-			}
-			if !tlbHit {
-				tlbMisses++
-			}
-		}
+		miss1, miss2 := st.AccessShifted(vs, m.shift)
 		m.costs.Accesses += uint64(len(vs))
-		m.costs.IOs += ios
-		m.costs.TLBMisses += tlbMisses
+		m.costs.IOs += miss2 * m.cfg.HugePageSize
+		m.costs.TLBMisses += miss1
 		return
 	}
 	for _, v := range vs {
 		m.Access(v)
 	}
+}
+
+// AccessBatchScratch implements StagedBatcher. The merged-LRU kernel is
+// fully fused — it materializes no intermediate columns — so the scratch
+// is unused.
+func (m *HugePage) AccessBatchScratch(vs []uint64, _ *Scratch) {
+	m.AccessBatch(vs)
 }
 
 // Costs implements Algorithm.

@@ -82,26 +82,14 @@ type Batcher interface {
 
 // Run services every request in order and returns the final counters.
 func Run(a Algorithm, requests []uint64) Costs {
-	if b, ok := a.(Batcher); ok {
-		b.AccessBatch(requests)
-	} else {
-		for _, v := range requests {
-			a.Access(v)
-		}
-	}
+	AccessChunk(a, requests, nil)
 	return a.Costs()
 }
 
 // RunWarm services warmup requests, resets counters, then services the
 // measured requests — the paper's two-phase methodology.
 func RunWarm(a Algorithm, warmup, measured []uint64) Costs {
-	if b, ok := a.(Batcher); ok {
-		b.AccessBatch(warmup)
-	} else {
-		for _, v := range warmup {
-			a.Access(v)
-		}
-	}
+	AccessChunk(a, warmup, nil)
 	a.ResetCosts()
 	return Run(a, measured)
 }

@@ -64,19 +64,12 @@ func RunPhaseSampled(a Algorithm, requests []uint64, every int, s Sampler, phase
 // runPhase feeds requests to a in interval-sized pieces, sampling after
 // each piece.
 func runPhase(a Algorithm, requests []uint64, every int, s Sampler, phase, name string) {
-	b, isBatcher := a.(Batcher)
 	for len(requests) > 0 {
 		n := every
 		if len(requests) < n {
 			n = len(requests)
 		}
-		if isBatcher {
-			b.AccessBatch(requests[:n])
-		} else {
-			for _, v := range requests[:n] {
-				a.Access(v)
-			}
-		}
+		AccessChunk(a, requests[:n], nil)
 		s.Sample(phase, name, a.Costs())
 		requests = requests[n:]
 	}

@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"addrxlat/internal/dense"
 	"addrxlat/internal/explain"
@@ -78,7 +79,7 @@ type spRegion struct {
 }
 
 var _ Algorithm = (*Superpage)(nil)
-var _ Batcher = (*Superpage)(nil)
+var _ StagedBatcher = (*Superpage)(nil)
 
 // NewSuperpage builds the reservation-based baseline.
 func NewSuperpage(cfg SuperpageConfig) (*Superpage, error) {
@@ -272,9 +273,99 @@ func (m *Superpage) fits(pages uint64) bool {
 
 // AccessBatch implements Batcher.
 func (m *Superpage) AccessBatch(vs []uint64) {
+	m.AccessBatchScratch(vs, nil)
+}
+
+// AccessBatchScratch implements StagedBatcher. Like THP, the superpage
+// system's RAM side invalidates TLB entries mid-stream (promotion
+// shootdowns, evicted regions), so the kernel stays in-order and fused,
+// with the same exact shortcuts (TestStagedBatchMatchesScalar): repeats
+// of the previous request collapse to one TLB hit count (the region and
+// entry are both MRU, the page already populated); a request sharing the
+// previous TLB key — same promoted region — skips the probe, since its
+// RAM path is a pure recency refresh of a fully populated region; all
+// other requests run the scalar body with the probe-and-reserve TLB op.
+// No columns are materialized, so the scratch is unused.
+func (m *Superpage) AccessBatchScratch(vs []uint64, _ *Scratch) {
+	t := m.tlb
+	rshift := uint(bits.TrailingZeros64(m.cfg.HugePageSize))
+	var prevV, prevKey uint64
+	havePrev := false
 	for _, v := range vs {
-		m.Access(v)
+		if havePrev && v == prevV {
+			t.NoteRepeatHit()
+			continue
+		}
+		r := v >> rshift
+
+		reg := m.regionFor(r)
+		if !reg.present {
+			reg.present = true
+			if m.fits(m.cfg.HugePageSize) {
+				m.makeRoom(m.cfg.HugePageSize)
+				reg.reserved = true
+				m.used += m.cfg.HugePageSize
+				m.reservedFree += m.cfg.HugePageSize
+			} else {
+				m.makeRoom(1)
+				m.used++
+			}
+			m.populated.Add(v)
+			reg.pop++
+			if reg.reserved {
+				m.reservedFree--
+			}
+			m.costs.IOs++
+			m.ex.DemandIO()
+			m.lru.Access(r)
+		} else {
+			m.lru.Access(r)
+			if !m.populated.Contains(v) {
+				if !reg.reserved {
+					m.makeRoom(1)
+					if !reg.present {
+						reg.present = true
+						m.lru.Access(r)
+					}
+					m.used++
+				}
+				m.populated.Add(v)
+				reg.pop++
+				if reg.reserved {
+					m.reservedFree--
+				}
+				m.costs.IOs++
+				m.ex.DemandIO()
+			}
+		}
+
+		if reg.reserved && !reg.promoted && uint64(reg.pop) == m.cfg.HugePageSize {
+			reg.promoted = true
+			m.promotions++
+			m.ex.Promote()
+			start := r * m.cfg.HugePageSize
+			for o := uint64(0); o < m.cfg.HugePageSize; o++ {
+				if m.tlb.Invalidate(tlbBase(start + o)) {
+					m.ex.TLBInvalidated(tlbBase(start + o))
+				}
+			}
+		}
+
+		var key uint64
+		if reg.promoted {
+			key = tlbHuge(r)
+		} else {
+			key = tlbBase(v)
+		}
+		if havePrev && key == prevKey {
+			t.NoteRepeatHit()
+		} else if !t.LookupOrReserve(key) {
+			m.costs.TLBMisses++
+			m.ex.TLBMiss(key)
+		}
+		havePrev, prevV, prevKey = true, v, key
 	}
+	m.costs.Accesses += uint64(len(vs))
 }
 
 // Costs implements Algorithm.

@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"addrxlat/internal/dense"
 	"addrxlat/internal/explain"
@@ -73,7 +74,7 @@ type THP struct {
 }
 
 var _ Algorithm = (*THP)(nil)
-var _ Batcher = (*THP)(nil)
+var _ StagedBatcher = (*THP)(nil)
 
 // Unit-id tagging: base pages and promoted regions share the LRU keyspace.
 func unitBase(v uint64) uint64    { return v << 1 }
@@ -224,9 +225,72 @@ func (m *THP) promote(r uint64) {
 
 // AccessBatch implements Batcher.
 func (m *THP) AccessBatch(vs []uint64) {
+	m.AccessBatchScratch(vs, nil)
+}
+
+// AccessBatchScratch implements StagedBatcher. THP's RAM side invalidates
+// TLB entries mid-stream (promotion shootdowns, demotion on eviction), so
+// its TLB work cannot be hoisted into a separate column pass the way the
+// decoupled scheme's can; instead the kernel fuses the scalar access
+// in-order with three exact shortcuts (TestStagedBatchMatchesScalar):
+//
+//   - a request repeating the previous one is a recency no-op everywhere
+//     — its unit and TLB entry are both MRU — so it collapses to one TLB
+//     hit count;
+//   - a request whose TLB key equals the previous key (same promoted
+//     region) skips the TLB probe: the entry is MRU, and the RAM path of
+//     a same-key access is a pure recency refresh that cannot have
+//     invalidated it;
+//   - the resident-hit path probes the unit table once (SlotOf+Touch)
+//     instead of twice (Contains+Access), and the TLB miss path reserves
+//     its slot in the probe (LookupOrReserve) instead of re-probing.
+//
+// It materializes no columns, so the scratch is unused.
+func (m *THP) AccessBatchScratch(vs []uint64, _ *Scratch) {
+	t := m.tlb
+	rshift := uint(bits.TrailingZeros64(m.cfg.HugePageSize))
+	var prevV, prevKey uint64
+	havePrev := false
 	for _, v := range vs {
-		m.Access(v)
+		if havePrev && v == prevV {
+			t.NoteRepeatHit()
+			continue
+		}
+		r := v >> rshift
+		var tlbKey uint64
+		if m.promoted.Contains(r) {
+			m.ram.Access(unitHuge(r)) // always a hit; refreshes recency
+			tlbKey = tlbHuge(r)
+		} else {
+			id := unitBase(v)
+			if s := m.ram.SlotOf(id); s >= 0 {
+				m.ram.Touch(s)
+				tlbKey = tlbBase(v)
+			} else {
+				m.costs.IOs++
+				m.ex.DemandIO()
+				m.evictUntilFits(1)
+				m.ram.Access(id)
+				m.used++
+				count := m.resident.At(r) + 1
+				m.resident.Set(r, count)
+				if int(count) >= m.cfg.PromoteThreshold {
+					m.promote(r)
+					tlbKey = tlbHuge(r)
+				} else {
+					tlbKey = tlbBase(v)
+				}
+			}
+		}
+		if havePrev && tlbKey == prevKey {
+			t.NoteRepeatHit()
+		} else if !t.LookupOrReserve(tlbKey) {
+			m.costs.TLBMisses++
+			m.ex.TLBMiss(tlbKey)
+		}
+		havePrev, prevV, prevKey = true, v, tlbKey
 	}
+	m.costs.Accesses += uint64(len(vs))
 }
 
 // Costs implements Algorithm.

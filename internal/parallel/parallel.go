@@ -41,6 +41,24 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 	if workers > n {
 		workers = n
 	}
+	if workers == 1 {
+		// Inline fast path: one worker means the pool degenerates to a
+		// sequential loop, so skip the goroutine + channel machinery (it
+		// costs real time on per-chunk dispatch with GOMAXPROCS=1).
+		// Semantics match the pooled path: per-item panic isolation via
+		// safeCall, cancellation checked between items, ctx.Err joined in.
+		errs := make([]error, n)
+		done := ctx.Done()
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return errors.Join(append([]error{ctx.Err()}, errs...)...)
+			default:
+			}
+			errs[i] = safeCall(fn, i)
+		}
+		return errors.Join(append([]error{ctx.Err()}, errs...)...)
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	jobs := make(chan int)

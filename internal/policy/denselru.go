@@ -18,9 +18,9 @@ import (
 // hash map does not grow with the key bound.
 type DenseLRU struct {
 	capacity int
-	keys     []uint64           // per-slot cached key
-	prev     []int32            // intrusive recency list over slots;
-	next     []int32            // index `capacity` is the sentinel head
+	keys     []uint64            // per-slot cached key
+	prev     []int32             // intrusive recency list over slots;
+	next     []int32             // index `capacity` is the sentinel head
 	slot     *dense.Table[int32] // key -> slot, -1 when absent
 	size     int
 	freeHead int32 // singly-linked free list threaded through next
@@ -99,6 +99,17 @@ func (l *DenseLRU) AccessSlot(key uint64) (slot int32, hit bool, victim uint64) 
 	l.slot.Set(key, s)
 	l.pushFront(s)
 	return s, false, victim
+}
+
+// Touch refreshes the recency of an occupied slot, exactly as Access of
+// its key would on a hit — but without re-probing the key index. Batch
+// kernels that already hold the slot from SlotOf use it to halve the
+// table lookups of a probe-then-refresh pair. s must be a live slot.
+func (l *DenseLRU) Touch(s int32) {
+	if l.next[l.head()] != s {
+		l.unlink(s)
+		l.pushFront(s)
+	}
 }
 
 // Access implements Policy.

@@ -49,7 +49,6 @@ func NewSource(g Generator, chunkSize, total int) (*Source, error) {
 
 func (s *Source) produce(g Generator, chunkSize, total int) {
 	defer close(s.out)
-	b, isBatcher := g.(Batcher)
 	for total > 0 {
 		n := chunkSize
 		if total < n {
@@ -62,13 +61,7 @@ func (s *Source) produce(g Generator, chunkSize, total int) {
 			return
 		}
 		buf = buf[:n]
-		if isBatcher {
-			b.NextBatch(buf)
-		} else {
-			for i := range buf {
-				buf[i] = g.Next()
-			}
-		}
+		Fill(g, buf)
 		total -= n
 		select {
 		case s.out <- buf:

@@ -31,16 +31,24 @@ type Batcher interface {
 	NextBatch(dst []uint64)
 }
 
+// Fill fills dst with the next len(dst) requests from g, through the
+// generator's batch path when it has one. It is the single fill-dispatch
+// point shared by the streaming producer (Source) and the materializing
+// harnesses (Take).
+func Fill(g Generator, dst []uint64) {
+	if b, ok := g.(Batcher); ok {
+		b.NextBatch(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
 // Take materializes the next n requests from g.
 func Take(g Generator, n int) []uint64 {
 	out := make([]uint64, n)
-	if b, ok := g.(Batcher); ok {
-		b.NextBatch(out)
-		return out
-	}
-	for i := range out {
-		out[i] = g.Next()
-	}
+	Fill(g, out)
 	return out
 }
 
@@ -91,6 +99,20 @@ func (b *Bimodal) Next() uint64 {
 		return b.hotStart + b.rng.Uint64n(b.hotPages)
 	}
 	return b.rng.Uint64n(b.totalPages)
+}
+
+// NextBatch implements Batcher: the same draws as repeated Next calls —
+// identical RNG sequence, so the stream is byte-identical — but looped
+// over the concrete receiver, so chunked fills (workload.Fill, Source)
+// pay one interface call per chunk instead of one per request.
+func (b *Bimodal) NextBatch(dst []uint64) {
+	for i := range dst {
+		if b.rng.Float64() < b.hotProb {
+			dst[i] = b.hotStart + b.rng.Uint64n(b.hotPages)
+		} else {
+			dst[i] = b.rng.Uint64n(b.totalPages)
+		}
+	}
 }
 
 // Name implements Generator.
