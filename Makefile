@@ -31,30 +31,40 @@ bench:
 	@mkdir -p results
 	$(GO) test -bench=. -benchmem -run=^$$ . | tee results/bench-$$(date -u +%Y%m%dT%H%M%SZ).txt
 
-# bench-diff reruns the hot-path benchmarks and compares them against the
-# newest committed BENCH_*.json baseline, failing on a >10% ns/op
+# bench-diff reruns the hot-path benchmarks and compares them against a
+# named committed BENCH_*.json baseline, failing on a >10% ns/op
 # regression in any hot-path benchmark (Access*, Fig1aBimodal, Replay*,
-# TraceDecode). Each benchmark runs -count=3 and benchdiff scores the
-# best (lowest) ns/op per name — baselines are best-of numbers, and
-# single runs on a noisy shared box swing 10-40%, so comparing one run
-# against a best-of baseline would flap. The comparison is hand-rolled
-# (cmd/benchdiff) — benchstat is deliberately not a dependency. Report
-# lands in results/bench-diff.txt.
-BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+# TraceDecode). The baseline is pinned to the intended anchor — the
+# previous perf PR's numbers — rather than the newest file, which after a
+# perf PR lands is that PR's own "after" numbers (comparing against
+# yourself only measures noise). Each benchmark runs -count=3 and
+# benchdiff scores the best (lowest) ns/op per name — baselines are
+# best-of numbers, and single runs on a noisy shared box swing 10-40%,
+# so comparing one run against a best-of baseline would flap. The
+# comparison is hand-rolled (cmd/benchdiff) — benchstat is deliberately
+# not a dependency. Report lands in results/bench-diff.txt.
+BENCH_BASELINE ?= BENCH_PR6.json
+# BENCH_COUNT: runs per benchmark (best-of scoring). 3 is the CI default;
+# on a noisy day run `make bench-diff BENCH_COUNT=8` — with too few
+# samples a single slow window can fail an untouched benchmark.
+BENCH_COUNT ?= 3
 bench-diff:
 	@mkdir -p results
-	$(GO) test -run=^$$ -bench='Access(Batch)?(HugePage|Decoupled|THP|Superpage)|Fig1aBimodal' -benchtime=1s -count=3 . > results/bench-raw.txt
-	$(GO) test -run=^$$ -bench='ReplayStream|ReplayMaterialized' -benchtime=1s -count=3 ./internal/workload/ >> results/bench-raw.txt
-	$(GO) test -run=^$$ -bench='TraceDecode' -benchtime=1s -count=3 ./internal/trace/ >> results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='Access(Batch)?(HugePage|Decoupled|THP|Superpage)|Fig1aBimodal|RowPipeline' -benchtime=1s -count=$(BENCH_COUNT) . > results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='ReplayStream|ReplayMaterialized' -benchtime=1s -count=$(BENCH_COUNT) ./internal/workload/ >> results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='TraceDecode' -benchtime=1s -count=$(BENCH_COUNT) ./internal/trace/ >> results/bench-raw.txt
 	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -out results/bench-diff.txt < results/bench-raw.txt
 
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke covering the scalar
 # AND staged-batch Access kernels so the benchmark harness itself can't
-# rot, and 1-iteration race-mode runs of the streaming pipeline (Source
+# rot, 1-iteration race-mode runs of the streaming pipeline (Source
 # producer goroutines + per-chunk fan-out) and one staged-batch kernel
-# (scratch reuse across chunks).
+# (scratch reuse across chunks), and a race-mode smoke of the pipelined
+# row executor (Workers=4, lookahead=2: ring publish/release, gate,
+# probe delivery, phase clock).
 check: vet test race
 	$(GO) test -bench='BenchmarkAccess(Batch)?(HugePage|Decoupled|THP|Superpage)' -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkFig1aBimodal -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkAccessBatchDecoupled -benchtime=1x -run=^$$ .
+	$(GO) test -race -run=TestPipelinedRaceSmoke ./internal/experiments/

@@ -64,6 +64,27 @@ func BenchmarkFig1aBimodal(b *testing.B) {
 	}
 }
 
+// BenchmarkRowPipeline measures the pipelined row executor on the
+// multi-algorithm Figure 1a row at several Workers settings. workers=1
+// is the sequential barrier executor (the pre-pipeline shape); workers=2
+// and 4 run the bounded-lookahead chunk ring with per-simulator workers.
+// On a single-core host the pipeline can only overlap generation with
+// simulation; the per-sim overlap needs real cores, so interpret the
+// matrix against GOMAXPROCS.
+func BenchmarkRowPipeline(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			s := benchScale()
+			s.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig1(experiments.F1aBimodal, s, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig1bGraphWalk regenerates Figure 1b (Pareto graph walk).
 func BenchmarkFig1bGraphWalk(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -5,7 +5,10 @@
 // and prints a delta table plus a geomean summary. Benchmarks matching the
 // -hot pattern fail the run (exit 1) when they regress by more than
 // -threshold; everything else is report-only. With -json the report is
-// emitted as a machine-readable document instead of the table.
+// emitted as a machine-readable document instead of the table. -baseline
+// names the anchor explicitly (what perf PRs should do — the Makefile
+// pins one); without it the newest BENCH_*.json in the working directory
+// is compared against.
 //
 // Usage:
 //
@@ -20,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -68,7 +72,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 func main() {
 	var (
-		basePath  = flag.String("baseline", "", "baseline BENCH_*.json to compare against (required)")
+		basePath  = flag.String("baseline", "", "baseline BENCH_*.json to compare against (default: the newest BENCH_*.json in the working directory)")
 		threshold = flag.Float64("threshold", 0.10, "max tolerated hot-path ns/op regression (fraction)")
 		hotPat    = flag.String("hot", `^Benchmark(Access|Fig1aBimodal|Replay|TraceDecode)`, "regexp of hot-path benchmarks gated by -threshold")
 		outPath   = flag.String("out", "", "also write the report to this file (for CI artifacts)")
@@ -76,8 +80,16 @@ func main() {
 	)
 	flag.Parse()
 	if *basePath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
-		os.Exit(2)
+		// No baseline named: fall back to the newest committed baseline.
+		// Perf PRs should pass -baseline explicitly (the Makefile pins the
+		// intended anchor) — the newest file is often the PR's own "after"
+		// numbers, which only measures noise.
+		p, err := newestBaseline(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -baseline not set and %v\n", err)
+			os.Exit(2)
+		}
+		*basePath = p
 	}
 	hot, err := regexp.Compile(*hotPat)
 	if err != nil {
@@ -129,6 +141,22 @@ func main() {
 			len(rep.Regressions), *threshold*100, strings.Join(rep.Regressions, ", "))
 		os.Exit(1)
 	}
+}
+
+// newestBaseline finds the lexicographically last BENCH_*.json in dir —
+// the convention names them BENCH_PR<n>.json, so "newest" and "last"
+// coincide for single-digit sequences and the Makefile overrides with an
+// explicit anchor anyway.
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json found in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
 }
 
 // parseBench collects the best (lowest) ns/op per benchmark name, so a

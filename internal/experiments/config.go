@@ -3,8 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"addrxlat/internal/parallel"
+	"addrxlat/internal/workload"
 )
 
 // Scale shrinks the paper's machine dimensions by a power-of-two factor
@@ -15,11 +17,21 @@ type Scale struct {
 	SpaceDiv uint64
 	// AccessDiv divides the warmup and measured access counts.
 	AccessDiv uint64
-	// Workers bounds the goroutines a sweep may fan out across (each
-	// parameter point is one task). 0 means GOMAXPROCS. 1 forces the
-	// sweep sequential — results are identical either way, since every
-	// point is independently seeded and lands in an order-stable slot.
+	// Workers bounds the goroutines a sweep may fan out across: the
+	// concurrent (row, algorithm) simulations of the pipelined row
+	// executor, and the per-parameter-point tasks of the materialized
+	// sweeps. 0 means GOMAXPROCS. 1 forces everything sequential —
+	// results are identical either way, since every simulator is
+	// independently seeded and lands in an order-stable slot (pinned by
+	// TestFig1Deterministic and TestPipelinedMatchesSequential).
 	Workers int
+	// Lookahead bounds how many chunks the row generator may run ahead
+	// of the slowest simulator in the pipelined row executor — the depth
+	// of the refcounted chunk ring, and therefore the peak workload
+	// memory of a row (Lookahead × 512 KiB chunks). 0 means
+	// workload.DefaultLookahead. It has no effect on results, only on
+	// how much generation overlaps simulation.
+	Lookahead int
 	// Cache, when non-nil, is consulted before simulating each cell of
 	// the streaming row drivers and updated afterwards, keyed by the
 	// canonical cell key (workload, algorithm, geometry, windows, scale,
@@ -120,6 +132,24 @@ func forEach(n int, fn func(i int) error) error {
 // tasks once s.Ctx is canceled.
 func (s Scale) forEach(n int, fn func(i int) error) error {
 	return parallel.ForEachCtx(s.context(), n, s.Workers, fn)
+}
+
+// rowWorkers resolves the Workers default for the pipelined row
+// executor: how many simulations may run concurrently within one row.
+func (s Scale) rowWorkers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// lookahead resolves the Lookahead default: the chunk-ring depth of the
+// pipelined row executor.
+func (s Scale) lookahead() int {
+	if s.Lookahead > 0 {
+		return s.Lookahead
+	}
+	return workload.DefaultLookahead
 }
 
 // context returns the sweep's cancellation context, tolerating the nil

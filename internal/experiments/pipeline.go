@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"addrxlat/internal/faultinject"
+	"addrxlat/internal/mm"
+	"addrxlat/internal/parallel"
+	"addrxlat/internal/workload"
+)
+
+// runRowPipelined is the barrier-free row executor: a generator goroutine
+// fills a bounded-lookahead ring of refcounted chunk buffers (segment 0
+// the warmup window, segment 1 the measured window), and one long-lived
+// worker per simulator consumes the ring from its own cursor at its own
+// pace, at most `workers` of them simulating at any instant. Row
+// wall-clock drops from Σ_chunks max(sim time) + generation to ≈ the
+// slowest simulator's total time, with generation fully overlapped.
+//
+// Determinism: every simulator still sees the identical request sequence
+// in the identical chunks (the ring publishes one stream; consumers only
+// differ in when they read it), each worker services its chunks in order,
+// and each worker resets its own counters exactly at the segment 0 → 1
+// edge — so final counters, probe samples, and explain snapshots are
+// byte-identical to the sequential executor's (pinned by
+// TestPipelinedMatchesSequential). Per-sim scratch stays pinned to its
+// worker; no allocation happens in the chunk loop.
+//
+// Failure shapes match runRow's contract: a panic while serving one
+// simulator poisons only that cell (the worker detaches from the ring and
+// the survivors keep streaming); a canceled context stops every worker at
+// a chunk boundary and is returned as the row-fatal error.
+func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, workers int) error {
+	ctx := s.context()
+	row := string(m.workload)
+
+	// The sweep-kill fault point fires from the producer, preserving the
+	// sequential executor's per-chunk cadence (crash-resume drills need a
+	// kill mid-row, not at a row edge).
+	var hook func(seq, segment, index int)
+	if faultinject.Armed() {
+		hook = func(seq, segment, index int) {
+			if faultinject.Fire(faultinject.SweepKill, row) {
+				faultinject.Kill(fmt.Sprintf("row %s, %s chunk %d", row, pipePhase(segment), index))
+			}
+		}
+	}
+	ring, err := workload.NewRing(gen, streamChunk, []int{m.warmupN, m.measuredN},
+		s.lookahead(), len(sims), workload.WithFillHook(hook))
+	if err != nil {
+		return err
+	}
+	defer ring.Stop()
+
+	// The ring blocks in condition variables, not channels, so a watcher
+	// translates context cancellation into Stop — waking the producer and
+	// any worker blocked on an unpublished chunk.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ring.Stop()
+		case <-watchDone:
+		}
+	}()
+
+	// More simulators than workers: a gate bounds how many simulate at
+	// once. It is claimed per chunk, not per row, so every simulator keeps
+	// making progress (and releasing ring slots) no matter the ratio.
+	var gate *parallel.Gate
+	if workers < len(sims) {
+		gate = parallel.NewGate(workers)
+	}
+
+	clock := &phaseClock{left: len(sims)}
+	start := time.Now()
+	grp := parallel.NewGroup(len(sims))
+	for i := range sims {
+		i := i
+		grp.Go(i, func() error {
+			var werr error
+			// The pprof labels make CPU profiles attribute pipeline time
+			// per (row, algorithm) worker.
+			pprof.Do(ctx, pprof.Labels("addrxlat_row", row, "addrxlat_alg", names[i]), func(context.Context) {
+				werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i)
+			})
+			return werr
+		})
+	}
+	grpErr := grp.Wait()
+
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("experiments: row %s canceled at a chunk boundary: %w", row, cerr)
+	}
+	if grpErr != nil {
+		// Not cancellation and not a per-cell panic (those land in
+		// cellErrs): a harness failure, fatal for the row.
+		return grpErr
+	}
+	if s.Probe != nil {
+		warmupAt := clock.crossedAt()
+		if warmupAt.IsZero() {
+			warmupAt = time.Now()
+		}
+		s.Probe.RowPhase(row, mm.PhaseWarmup, "", m.warmupN, warmupAt.Sub(start))
+		s.Probe.RowPhase(row, mm.PhaseMeasured, "", m.measuredN, time.Since(warmupAt))
+		if pp, ok := s.Probe.(PipelineProbe); ok {
+			pp.RowPipeline(row, ring.Stats())
+		}
+	}
+	return nil
+}
+
+// simWorker drives one simulator over the whole row: every chunk of both
+// segments in order, resetting the sim's counters at the warmup→measured
+// edge. It returns nil for a poisoned cell (recorded in cellErrs[i]) and
+// an error only for cancellation.
+func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, a mm.Algorithm, sc *mm.Scratch, cellErrs []error, names []string, row string, i int) error {
+	ctx := s.context()
+	ep := s.explainProbe()
+	cur, seg := 0, 0
+	inWarmup := true
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			ring.DetachFrom(cur)
+			return fmt.Errorf("experiments: cell %s|%s canceled at a %s chunk boundary: %w",
+				row, names[i], pipePhase(seg), cerr)
+		}
+		c, ok := ring.Get(cur)
+		if !ok {
+			if cerr := ctx.Err(); cerr != nil {
+				ring.DetachFrom(cur)
+				return fmt.Errorf("experiments: cell %s|%s canceled at a %s chunk boundary: %w",
+					row, names[i], pipePhase(seg), cerr)
+			}
+			break // end of stream
+		}
+		if c.Segment != seg {
+			// Warmup → measured edge: this worker's own counter reset, no
+			// cross-simulator barrier. The ring never straddles segments, so
+			// the reset lands exactly where the sequential executor puts it.
+			seg = c.Segment
+			a.ResetCosts()
+			if inWarmup {
+				inWarmup = false
+				clock.cross()
+			}
+		}
+		gate.Enter()
+		cellErr := m.serveChunk(s, ep, a, sc, c.Data, row, pipePhase(seg), names[i])
+		gate.Leave()
+		ring.Release(cur)
+		cur++
+		if cellErr != nil {
+			cellErrs[i] = cellErr
+			ring.DetachFrom(cur)
+			if inWarmup {
+				clock.cross()
+			}
+			return nil
+		}
+	}
+	if inWarmup {
+		// The measured window was empty (no segment-1 chunks): the
+		// methodology still resets after warmup.
+		a.ResetCosts()
+		clock.cross()
+	}
+	return nil
+}
+
+// serveChunk services one chunk on one simulator — the pipelined
+// counterpart of streamWindow's serve closure, with the identical probe
+// and fault-injection points at the identical chunk boundaries. A panic
+// (algorithm bug or injected cell fault) is recovered into the returned
+// error.
+func (m *fig1Machine) serveChunk(s Scale, ep ExplainProbe, a mm.Algorithm, sc *mm.Scratch, chunk []uint64, row, phase, name string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: cell %s|%s panicked: %v", row, name, r)
+		}
+	}()
+	if faultinject.Armed() && faultinject.Fire(faultinject.CellPanic, row+"|"+name) {
+		panic("injected cell fault")
+	}
+	accessAll(a, chunk, sc)
+	if s.Probe != nil {
+		s.Probe.RowSample(row, phase, name, a.Costs())
+		if ep != nil {
+			deliverExplain(ep, row, phase, name, a)
+		}
+	}
+	return nil
+}
+
+// phaseClock stamps the row's warmup→measured crossover: the wall time at
+// which the last simulator left the warmup segment. With the barrier gone
+// the phases of different simulators overlap; the stamp is where every
+// sim has finished warming, which is what the per-phase wall-time split
+// in the manifest means.
+type phaseClock struct {
+	mu   sync.Mutex
+	left int
+	at   time.Time
+}
+
+// cross records that one simulator is done with warmup (by crossing into
+// measured, failing, or hitting end-of-stream).
+func (p *phaseClock) cross() {
+	p.mu.Lock()
+	p.left--
+	if p.left == 0 {
+		p.at = time.Now()
+	}
+	p.mu.Unlock()
+}
+
+// crossedAt returns the crossover stamp, zero if some simulator never
+// crossed.
+func (p *phaseClock) crossedAt() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.at
+}
+
+// pipePhase maps a ring segment to its mm phase label.
+func pipePhase(segment int) string {
+	if segment == 0 {
+		return mm.PhaseWarmup
+	}
+	return mm.PhaseMeasured
+}

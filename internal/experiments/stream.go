@@ -38,6 +38,17 @@ type ExplainProbe interface {
 	RowExplain(row, phase, alg string, c explain.Counters, g explain.Gauges, hasGauges bool)
 }
 
+// PipelineProbe is the optional Probe extension for pipeline telemetry:
+// probes that also implement it receive, after each pipelined row, the
+// chunk ring's backpressure counters — whether the generator waited on
+// the simulators or vice versa — so `-http` can show which side of the
+// pipeline is the bottleneck. obs.Recorder is the standard
+// implementation, mirroring the counters to the addrxlat.pipeline_*
+// expvars.
+type PipelineProbe interface {
+	RowPipeline(row string, st workload.RingStats)
+}
+
 // explainProbe returns the probe's attribution side, or nil when
 // attribution is off or the probe does not implement it.
 func (s Scale) explainProbe() ExplainProbe {
@@ -115,10 +126,12 @@ func (m *fig1Machine) cellKey(s Scale, seed uint64, alg string) string {
 
 // runRow drives every simulator in sims through the row's request stream:
 // warmup window, counter reset, measured window — mm.RunWarm's two-phase
-// methodology, but with each chunk generated once and fanned out to all
-// sims instead of materializing the windows per cell. Workers bounds the
-// concurrent (row, algorithm) tasks per chunk. Callers read the finished
-// counters back with sims[i].Costs().
+// methodology, but with each chunk generated once and shared by all sims
+// instead of materializing the windows per cell. With Workers > 1 the row
+// runs pipelined: a generator goroutine fills a bounded-lookahead chunk
+// ring and one long-lived worker per simulator consumes it at its own
+// pace (see runRowPipelined); Workers bounds the concurrent simulations.
+// Callers read the finished counters back with sims[i].Costs().
 //
 // Fault tolerance: a panic while servicing one simulator (a bug in that
 // algorithm, or an injected cell-panic) poisons only that cell — its
@@ -139,14 +152,11 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 		return cellErrs, err
 	}
 	// Simulator names are resolved once per row: the probe hook needs
-	// them per chunk (and the fault-injection matcher per cell), and
-	// Name() formats.
-	var names []string
-	if s.Probe != nil || faultinject.Armed() {
-		names = make([]string, len(sims))
-		for i, a := range sims {
-			names[i] = a.Name()
-		}
+	// them per chunk, the fault-injection matcher per cell, the pipelined
+	// executor's pprof labels per worker — and Name() formats.
+	names := make([]string, len(sims))
+	for i, a := range sims {
+		names[i] = a.Name()
 	}
 	if s.Explain {
 		for _, a := range sims {
@@ -159,6 +169,15 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 	scratch := make([]*mm.Scratch, len(sims))
 	for i := range scratch {
 		scratch[i] = &mm.Scratch{}
+	}
+	// Two executors, same results (pinned by TestPipelinedMatchesSequential):
+	// the pipelined one removes the per-chunk fan-out barrier — each
+	// simulator consumes the shared chunk ring at its own pace — but is pure
+	// overhead when only one simulation may run at a time, so Workers=1
+	// (or a single-cell row) keeps the sequential two-window loop. That
+	// loop doubles as the differential reference for the pipelined path.
+	if w := s.rowWorkers(); w > 1 && len(sims) > 1 {
+		return cellErrs, m.runRowPipelined(s, gen, sims, scratch, cellErrs, names, w)
 	}
 	if err := m.window(s, gen, m.warmupN, sims, scratch, cellErrs, names, mm.PhaseWarmup); err != nil {
 		return cellErrs, err
@@ -235,7 +254,7 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, s
 					cellErrs[i] = fmt.Errorf("experiments: cell %s|%s panicked: %v", row, sims[i].Name(), r)
 				}
 			}()
-			if names != nil && faultinject.Armed() &&
+			if faultinject.Armed() &&
 				faultinject.Fire(faultinject.CellPanic, row+"|"+names[i]) {
 				panic("injected cell fault")
 			}

@@ -40,22 +40,55 @@ func RunPhaseSampledCtx(ctx context.Context, a Algorithm, requests []uint64, eve
 	return a.Costs(), nil
 }
 
-// runPhaseCtx is runPhase with a context check before each interval. A
-// nil sampler disables sampling but keeps the chunked cancellation.
-func runPhaseCtx(ctx context.Context, a Algorithm, requests []uint64, every int, s Sampler, phase, name string) error {
-	for len(requests) > 0 {
-		if err := ctx.Err(); err != nil {
-			return err
+// ChunkSeq yields the successive request chunks of one phase: each call
+// returns the next chunk and true, or ok=false once the phase is
+// exhausted. It is the seam between the runners and wherever requests
+// come from — a materialized slice (SliceChunks) or a streaming producer
+// such as workload.Ring, whose chunks need not be resident all at once.
+type ChunkSeq func() (chunk []uint64, ok bool)
+
+// SliceChunks adapts a materialized window to a ChunkSeq yielding pieces
+// of at most every requests (the final piece short).
+func SliceChunks(requests []uint64, every int) ChunkSeq {
+	return func() ([]uint64, bool) {
+		if len(requests) == 0 {
+			return nil, false
 		}
 		n := every
 		if len(requests) < n {
 			n = len(requests)
 		}
-		AccessChunk(a, requests[:n], nil)
+		chunk := requests[:n]
+		requests = requests[n:]
+		return chunk, true
+	}
+}
+
+// RunPhaseChunksCtx services one phase from a chunk iterator: each chunk
+// is preceded by a context check and followed by an optional sample, so
+// cancellation and telemetry both land exactly at chunk boundaries. The
+// scratch (may be nil) is threaded to AccessChunk for the staged batch
+// kernels. By the Batcher contract the chunking changes no counters; on
+// cancellation the counters accumulated so far remain on the algorithm
+// and the context's error is returned.
+func RunPhaseChunksCtx(ctx context.Context, a Algorithm, next ChunkSeq, sc *Scratch, s Sampler, phase, name string) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk, ok := next()
+		if !ok {
+			return nil
+		}
+		AccessChunk(a, chunk, sc)
 		if s != nil {
 			s.Sample(phase, name, a.Costs())
 		}
-		requests = requests[n:]
 	}
-	return nil
+}
+
+// runPhaseCtx is runPhase with a context check before each interval. A
+// nil sampler disables sampling but keeps the chunked cancellation.
+func runPhaseCtx(ctx context.Context, a Algorithm, requests []uint64, every int, s Sampler, phase, name string) error {
+	return RunPhaseChunksCtx(ctx, a, SliceChunks(requests, every), nil, s, phase, name)
 }

@@ -1,5 +1,7 @@
 package mm
 
+import "context"
+
 // Phase labels used by the sampled runners and the telemetry layer: the
 // warmup phase covers the accesses before the counter reset, the measured
 // phase the accesses after it.
@@ -64,13 +66,5 @@ func RunPhaseSampled(a Algorithm, requests []uint64, every int, s Sampler, phase
 // runPhase feeds requests to a in interval-sized pieces, sampling after
 // each piece.
 func runPhase(a Algorithm, requests []uint64, every int, s Sampler, phase, name string) {
-	for len(requests) > 0 {
-		n := every
-		if len(requests) < n {
-			n = len(requests)
-		}
-		AccessChunk(a, requests[:n], nil)
-		s.Sample(phase, name, a.Costs())
-		requests = requests[n:]
-	}
+	_ = RunPhaseChunksCtx(context.Background(), a, SliceChunks(requests, every), nil, s, phase, name)
 }

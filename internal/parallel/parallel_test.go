@@ -208,3 +208,77 @@ func BenchmarkForEachOverhead(b *testing.B) {
 		ForEach(64, 0, func(int) error { return nil })
 	}
 }
+
+func TestGroupAggregatesErrorsAndPanics(t *testing.T) {
+	g := NewGroup(4)
+	g.Go(0, func() error { return nil })
+	g.Go(1, func() error { return errors.New("worker 1 failed") })
+	g.Go(2, func() error { panic("worker 2 blew up") })
+	g.Go(3, func() error { return nil })
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	if !strings.Contains(err.Error(), "worker 1 failed") {
+		t.Fatalf("worker 1's error missing from %q", err)
+	}
+	if !strings.Contains(err.Error(), "worker 2 blew up") {
+		t.Fatalf("worker 2's panic missing from %q", err)
+	}
+}
+
+func TestGroupAllClean(t *testing.T) {
+	g := NewGroup(8)
+	var ran int64
+	for i := 0; i < 8; i++ {
+		g.Go(i, func() error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 8 {
+		t.Fatalf("ran %d workers, want 8", ran)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const width, workers = 2, 8
+	gate := NewGate(width)
+	var cur, peak int64
+	g := NewGroup(workers)
+	for i := 0; i < workers; i++ {
+		g.Go(i, func() error {
+			for j := 0; j < 50; j++ {
+				gate.Enter()
+				n := atomic.AddInt64(&cur, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+						break
+					}
+				}
+				atomic.AddInt64(&cur, -1)
+				gate.Leave()
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > width {
+		t.Fatalf("observed %d concurrent holders, gate width %d", peak, width)
+	}
+}
+
+func TestNilGateAdmitsEveryone(t *testing.T) {
+	var gate *Gate
+	gate.Enter()
+	gate.Leave()
+	if g := NewGate(0); g != nil {
+		t.Fatal("width 0 should yield a nil (unbounded) gate")
+	}
+}

@@ -1,22 +1,25 @@
 package workload
 
-import "fmt"
-
 // Source streams a bounded prefix of a Generator as fixed-size chunks,
-// produced by a dedicated goroutine with double buffering: while the
+// produced by a dedicated goroutine running one chunk ahead: while the
 // consumer simulates chunk i, the producer is already filling chunk i+1,
 // so request generation overlaps simulation instead of serializing ahead
 // of it (or being materialized whole, as the harness did before — 800 MB
 // per window at paper scale).
+//
+// Source is the single-consumer, single-segment view of Ring — the
+// depth-2 special case kept for linear consumers (trace generation,
+// replay pre-passes, the sequential row executor). The multi-consumer
+// pipelined row executor uses Ring directly.
 //
 // The chunk sequence concatenates to exactly the same requests repeated
 // Generator.Next calls would yield; chunking is invisible to simulators.
 // A Source is single-consumer: Next/Recycle/Stop must be called from one
 // goroutine.
 type Source struct {
-	out  chan []uint64
-	free chan []uint64
-	done chan struct{}
+	ring *Ring
+	next int  // seq the upcoming Next returns
+	held bool // Next returned a chunk not yet Recycled
 }
 
 // DefaultChunk is the chunk size the experiment harness streams with:
@@ -29,84 +32,46 @@ const DefaultChunk = 1 << 16
 // total. The producer goroutine exits after the last chunk is consumed,
 // or when Stop is called.
 func NewSource(g Generator, chunkSize, total int) (*Source, error) {
-	if g == nil {
-		return nil, fmt.Errorf("workload: nil generator")
+	ring, err := NewRing(g, chunkSize, []int{total}, 2, 1)
+	if err != nil {
+		return nil, err
 	}
-	if chunkSize <= 0 || total < 0 {
-		return nil, fmt.Errorf("workload: invalid source shape chunk=%d total=%d", chunkSize, total)
-	}
-	s := &Source{
-		out:  make(chan []uint64, 1),
-		free: make(chan []uint64, 2),
-		done: make(chan struct{}),
-	}
-	// Two buffers: one being consumed, one being filled.
-	s.free <- make([]uint64, chunkSize)
-	s.free <- make([]uint64, chunkSize)
-	go s.produce(g, chunkSize, total)
-	return s, nil
-}
-
-func (s *Source) produce(g Generator, chunkSize, total int) {
-	defer close(s.out)
-	for total > 0 {
-		n := chunkSize
-		if total < n {
-			n = total
-		}
-		var buf []uint64
-		select {
-		case buf = <-s.free:
-		case <-s.done:
-			return
-		}
-		buf = buf[:n]
-		Fill(g, buf)
-		total -= n
-		select {
-		case s.out <- buf:
-		case <-s.done:
-			return
-		}
-	}
+	return &Source{ring: ring}, nil
 }
 
 // Next returns the next chunk, or ok=false after the last chunk. The
 // returned slice is owned by the caller until passed to Recycle.
 func (s *Source) Next() (chunk []uint64, ok bool) {
-	chunk, ok = <-s.out
-	return chunk, ok
+	if s.held {
+		// The previous chunk was never recycled; release it so the ring
+		// can advance (matches the old Source, where dropping a buffer
+		// never stalled the stream).
+		s.ring.Release(s.next - 1)
+		s.held = false
+	}
+	c, ok := s.ring.Get(s.next)
+	if !ok {
+		return nil, false
+	}
+	s.next++
+	s.held = true
+	return c.Data, true
 }
 
-// Recycle hands a consumed chunk's buffer back for reuse. Optional — a
-// dropped buffer only costs a fresh allocation — but on the steady path
-// it makes the whole stream run in two fixed buffers.
+// Recycle hands a consumed chunk's buffer back for reuse, letting the
+// producer refill it. On the steady path the whole stream runs in two
+// fixed buffers; an unrecycled chunk is reclaimed on the next call to
+// Next instead.
 func (s *Source) Recycle(buf []uint64) {
-	select {
-	case s.free <- buf[:cap(buf)]:
-	default:
+	if s.held {
+		s.ring.Release(s.next - 1)
+		s.held = false
 	}
 }
 
 // Stop releases the producer goroutine without draining the stream. Safe
 // to call whether or not the stream was fully consumed; Next returns
-// ok=false afterwards (once the producer has exited).
+// ok=false afterwards.
 func (s *Source) Stop() {
-	select {
-	case <-s.done:
-	default:
-		close(s.done)
-	}
-	// Drain anything already queued so the producer's pending send (if it
-	// raced the close) is released and the buffers are collectable.
-	for {
-		select {
-		case _, ok := <-s.out:
-			if !ok {
-				return
-			}
-		default:
-			return
-		}
-	}
+	s.ring.Stop()
 }
