@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-diff race vet fuzz-smoke
+.PHONY: all build test check bench bench-diff race vet fuzz-smoke trace-smoke
 
 all: build
 
@@ -54,6 +54,23 @@ bench-diff:
 	$(GO) test -run=^$$ -bench='ReplayStream|ReplayMaterialized' -benchtime=1s -count=$(BENCH_COUNT) ./internal/workload/ >> results/bench-raw.txt
 	$(GO) test -run=^$$ -bench='TraceDecode' -benchtime=1s -count=$(BENCH_COUNT) ./internal/trace/ >> results/bench-raw.txt
 	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -out results/bench-diff.txt < results/bench-raw.txt
+
+# trace-smoke runs one instrumented fig1a sweep with the execution tracer
+# armed on the pipelined executor (4 workers, sampling on), then validates
+# the exported Chrome trace-event JSON — schema, required keys, and
+# per-timeline span nesting — with cmd/tracelint. The sweep's tables stay
+# byte-identical with tracing on (pinned by TestTraceByteIdentical); this
+# target guards the other side: that the export itself stays loadable in
+# Perfetto. Artifacts (trace + timeline TSV + manifest) land in
+# results/trace-smoke/ and are uploaded by CI.
+trace-smoke:
+	@mkdir -p results/trace-smoke
+	$(GO) run ./cmd/figures -fig f1a -workers 4 -sample 100000 \
+		-out results/trace-smoke -manifest results/trace-smoke -cache results/trace-smoke/cache \
+		-trace results/trace-smoke/figures.trace.json
+	$(GO) run ./cmd/tracelint results/trace-smoke/figures.trace.json
+	@test -s results/trace-smoke/f1a-bimodal.timeline.tsv || \
+		{ echo "trace-smoke: missing timeline TSV" >&2; exit 1; }
 
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke covering the scalar

@@ -32,6 +32,7 @@ import (
 	"addrxlat/internal/prof"
 	"addrxlat/internal/trace"
 	"addrxlat/internal/workload"
+	"addrxlat/internal/xtrace"
 )
 
 // profile is flushed on every exit path, including fail().
@@ -43,6 +44,28 @@ var (
 	exitMan    *obs.Manifest
 	exitManDir string
 )
+
+// exitTrace is the armed execution tracer (-trace), flushed on every exit
+// path — a canceled simulation still exports a well-formed trace, since
+// the runners drain at a chunk boundary before fail() runs.
+var (
+	exitTrace     *xtrace.Tracer
+	exitTracePath string
+)
+
+// flushTrace writes the Chrome trace-event JSON. Idempotent, best effort.
+func flushTrace() {
+	t := exitTrace
+	if t == nil {
+		return
+	}
+	exitTrace = nil
+	if err := t.WriteFile(exitTracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "atsim: trace: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "atsim: wrote execution trace %s; load it at https://ui.perfetto.dev\n", exitTracePath)
+	}
+}
 
 func main() {
 	var (
@@ -72,6 +95,7 @@ func main() {
 		explainF = flag.Bool("explain", false, "attribute costs: print the event breakdown and write atsim.explain.tsv/.json next to the manifest")
 		curves   = flag.String("curves", "", "cost-curve output file (default <manifest dir>/atsim.curves.tsv)")
 		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
+		traceF   = flag.String("trace", "", "export a Perfetto-loadable execution trace (Chrome trace-event JSON) of the run to this file; counters stay byte-identical")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -97,6 +121,15 @@ func main() {
 	man.Seeds = []uint64{*seed}
 	man.FaultPlan = faultinject.Plan()
 	exitMan, exitManDir = man, *maniDir
+
+	var tracer *xtrace.Tracer
+	if *traceF != "" {
+		tracer = xtrace.New()
+		tracer.SetScope("atsim")
+		xtrace.Install(tracer)
+		exitTrace, exitTracePath = tracer, *traceF
+		man.Trace = *traceF
+	}
 
 	var (
 		warm, meas []uint64
@@ -230,7 +263,20 @@ func main() {
 		tot := rec.ExplainTotals()
 		rr.Explain = &tot
 	}
+	if tracer != nil {
+		// The run's one stream carries no row label inside the runners;
+		// label the report with the workload for the manifest and digest.
+		for _, rep := range tracer.Analyze() {
+			if rep.Row == "" {
+				rep.Row = *wl
+			}
+			rec.RowTimeline(rep)
+			fmt.Printf("timeline:  %s\n", rep.Summary())
+		}
+		rr.Timeline = rec.Timelines()
+	}
 	man.Experiments = []obs.RunRecord{rr}
+	flushTrace()
 	flushManifest("ok", "")
 }
 
@@ -367,7 +413,17 @@ func runReplay(ctx context.Context, alg mm.Algorithm, path string, warmN, measN 
 	}
 	name := alg.Name()
 	phase := mm.PhaseWarmup
+	// The replay loop bypasses the mm runners, so it carries its own trace
+	// timeline: chunk spans here, phase spans around each window below.
+	var th *xtrace.Thread
+	if tr := xtrace.Active(); tr != nil {
+		th = tr.Worker("", name)
+	}
 	serve := func(chunk []uint64) error {
+		var chunkStart int64
+		if th != nil {
+			chunkStart = th.Now()
+		}
 		if b, ok := alg.(mm.Batcher); ok {
 			b.AccessBatch(chunk)
 		} else {
@@ -376,17 +432,24 @@ func runReplay(ctx context.Context, alg mm.Algorithm, path string, warmN, measN 
 			}
 		}
 		rec.Sample(phase, name, alg.Costs())
+		if th != nil {
+			th.Span(phase, xtrace.CatChunk, chunkStart, xtrace.ArgInt("n", int64(len(chunk))))
+		}
 		return nil
 	}
 
 	start := time.Now()
+	phaseStart := th.Now()
 	if err := window(warmN, serve); err != nil {
 		return mm.Costs{}, "", err
 	}
+	th.Span(mm.PhaseWarmup, xtrace.CatPhase, phaseStart)
 	rec.RowPhase("", mm.PhaseWarmup, name, warmN, time.Since(start))
 	alg.ResetCosts()
 	phase = mm.PhaseMeasured
 	start = time.Now()
+	phaseStart = th.Now()
+	defer func() { th.Span(mm.PhaseMeasured, xtrace.CatPhase, phaseStart) }()
 
 	var dumpStats string
 	if dumpTo == "" {
@@ -565,6 +628,7 @@ func flushManifest(status, errMsg string) {
 // "canceled" manifest; everything else exits 1 with "failed".
 func fail(err error) {
 	flushProfile()
+	flushTrace()
 	status, code := "failed", 1
 	if errors.Is(err, context.Canceled) {
 		status, code = "canceled", 130

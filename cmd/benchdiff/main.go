@@ -45,10 +45,17 @@ type baseline struct {
 }
 
 // row is one benchmark's comparison, shared by the text and JSON renders.
+// NowNs is the best (lowest) of the run's samples; Min/Max/Spread expose
+// the sample range so a suspicious delta can be told apart from plain
+// measurement noise (-count N yields N samples per benchmark).
 type row struct {
 	Name    string  `json:"name"`
 	BaseNs  float64 `json:"base_ns_per_op,omitempty"`
 	NowNs   float64 `json:"now_ns_per_op"`
+	MinNs   float64 `json:"min_ns_per_op,omitempty"`
+	MaxNs   float64 `json:"max_ns_per_op,omitempty"`
+	Spread  float64 `json:"spread,omitempty"` // fractional: (max-min)/min over this run's samples
+	Samples int     `json:"samples,omitempty"`
 	Delta   float64 `json:"delta,omitempty"` // fractional: 0.05 = 5% slower
 	Hot     bool    `json:"hot"`
 	Verdict string  `json:"verdict"`
@@ -62,6 +69,8 @@ type report struct {
 	Missing      []row    `json:"missing,omitempty"` // in baseline, not measured
 	GeomeanDelta float64  `json:"geomean_delta"`     // fractional, over rows with a baseline
 	Compared     int      `json:"compared"`          // rows entering the geomean
+	MaxSpread    float64  `json:"max_spread"`        // worst per-benchmark sample spread this run
+	MaxSpreadOf  string   `json:"max_spread_of,omitempty"`
 	Regressions  []string `json:"regressions,omitempty"`
 }
 
@@ -159,10 +168,11 @@ func newestBaseline(dir string) (string, error) {
 	return matches[len(matches)-1], nil
 }
 
-// parseBench collects the best (lowest) ns/op per benchmark name, so a
-// -count run is compared by its least-noisy iteration.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseBench collects every ns/op sample per benchmark name (a -count N
+// run yields N lines per benchmark). The comparison uses the best sample;
+// the full set feeds the per-benchmark min/max spread.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -173,17 +183,33 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
-		}
+		out[m[1]] = append(out[m[1]], ns)
 	}
 	return out, sc.Err()
+}
+
+// sampleRange summarizes one benchmark's samples: best (min), worst
+// (max), and the fractional spread between them.
+func sampleRange(samples []float64) (min, max, spread float64) {
+	min, max = samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min > 0 {
+		spread = (max - min) / min
+	}
+	return min, max, spread
 }
 
 // diff builds the comparison: per-benchmark rows, the geomean of the
 // now/base ratios over every benchmark with a baseline, and the hot
 // benchmarks whose slowdown exceeded the threshold.
-func diff(base baseline, current map[string]float64, hot *regexp.Regexp, threshold float64) report {
+func diff(base baseline, current map[string][]float64, hot *regexp.Regexp, threshold float64) report {
 	rep := report{Baseline: base.PR, BaselineDate: base.Date}
 
 	names := make([]string, 0, len(current))
@@ -194,8 +220,15 @@ func diff(base baseline, current map[string]float64, hot *regexp.Regexp, thresho
 
 	var logSum float64
 	for _, name := range names {
-		ns := current[name]
-		r := row{Name: name, NowNs: ns, Hot: hot.MatchString(name)}
+		min, max, spread := sampleRange(current[name])
+		ns := min // compare by the least-noisy sample
+		r := row{
+			Name: name, NowNs: ns, Hot: hot.MatchString(name),
+			MinNs: min, MaxNs: max, Spread: spread, Samples: len(current[name]),
+		}
+		if spread > rep.MaxSpread {
+			rep.MaxSpread, rep.MaxSpreadOf = spread, name
+		}
 		b, ok := base.Benchmarks[name]
 		if !ok || b.After == nil || b.After.NsPerOp <= 0 {
 			r.Verdict = "no baseline"
@@ -234,21 +267,35 @@ func diff(base baseline, current map[string]float64, hot *regexp.Regexp, thresho
 func render(rep report) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "baseline: %s (%s)\n", rep.Baseline, rep.BaselineDate)
-	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "verdict")
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s %16s  %s\n", "benchmark", "base ns/op", "now ns/op", "delta", "min..max", "verdict")
 	for _, r := range rep.Rows {
 		if r.Verdict == "no baseline" {
-			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s  no baseline\n", r.Name, "-", r.NowNs, "-")
+			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s %16s  no baseline\n", r.Name, "-", r.NowNs, "-", spreadCell(r))
 			continue
 		}
-		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%%  %s\n",
-			r.Name, r.BaseNs, r.NowNs, r.Delta*100, r.Verdict)
+		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%% %16s  %s\n",
+			r.Name, r.BaseNs, r.NowNs, r.Delta*100, spreadCell(r), r.Verdict)
 	}
 	for _, r := range rep.Missing {
-		fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s  not measured\n", r.Name, r.BaseNs, "-", "-")
+		fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s %16s  not measured\n", r.Name, r.BaseNs, "-", "-", "-")
 	}
 	if rep.Compared > 0 {
 		fmt.Fprintf(&sb, "geomean delta: %+.1f%% over %d benchmarks with a baseline\n",
 			rep.GeomeanDelta*100, rep.Compared)
 	}
+	if rep.MaxSpreadOf != "" {
+		fmt.Fprintf(&sb, "worst sample spread: ±%.0f%% (%s) — deltas inside the spread are noise\n",
+			rep.MaxSpread*100, rep.MaxSpreadOf)
+	}
 	return sb.String()
+}
+
+// spreadCell formats a row's sample range for the table: the min..max
+// ns/op span with the fractional spread, or just the single sample count
+// hint when -count was 1 (min == max, spread undefined as a signal).
+func spreadCell(r row) string {
+	if r.Samples <= 1 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f..%.0f ±%.0f%%", r.MinNs, r.MaxNs, r.Spread*100)
 }

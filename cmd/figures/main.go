@@ -58,6 +58,7 @@ import (
 	"addrxlat/internal/obs"
 	"addrxlat/internal/prof"
 	"addrxlat/internal/resultcache"
+	"addrxlat/internal/xtrace"
 )
 
 // profile is flushed on every exit path, including die().
@@ -69,6 +70,36 @@ var (
 	exitMan    *obs.Manifest
 	exitManDir string
 )
+
+// exitTrace is the armed execution tracer, flushed to exitTracePath on
+// every exit path. The sweep span lives on sweepThread, closed by
+// flushTrace so even an aborted run exports a well-formed trace (the row
+// executors join their workers before returning, so the tracer is always
+// quiescent by the time any exit path runs).
+var (
+	exitTrace     *xtrace.Tracer
+	exitTracePath string
+	sweepThread   *xtrace.Thread
+	sweepStart    int64
+)
+
+// flushTrace closes the sweep span and writes the Chrome trace-event
+// JSON. Idempotent; best effort like the other flushers.
+func flushTrace() {
+	t := exitTrace
+	if t == nil {
+		return
+	}
+	exitTrace = nil
+	sweepThread.Span("figures", xtrace.CatSweep, sweepStart)
+	if err := t.WriteFile(exitTracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: trace: %v\n", err)
+	} else {
+		threads, events, _ := t.Stats()
+		fmt.Fprintf(os.Stderr, "figures: wrote execution trace %s (%d timelines, %d events); load it at https://ui.perfetto.dev\n",
+			exitTracePath, threads, events)
+	}
+}
 
 func main() {
 	var (
@@ -87,6 +118,7 @@ func main() {
 		resume    = flag.String("resume", "", "resume an interrupted run from its manifest: restores the recorded flags (explicit flags here win) and skips journaled experiments")
 		workers   = flag.Int("workers", 0, "max concurrent simulations per streaming row / tasks per sweep (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		lookahead = flag.Int("lookahead", 0, "chunks the row generator may run ahead of the slowest simulator in pipelined rows (0 = default); affects only overlap, never results")
+		traceF    = flag.String("trace", "", "export a Perfetto-loadable execution trace (Chrome trace-event JSON) of the sweep to this file; also derives <experiment>.timeline.tsv straggler reports next to the outputs. Results stay byte-identical")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -279,7 +311,19 @@ func main() {
 		if err != nil {
 			die(1, "figures: %v\n", err)
 		}
+		// The bound address goes into the manifest: with -http :0 the
+		// kernel picks the port, and the manifest is where tooling finds it.
+		man.HTTPAddr = addr
 		fmt.Fprintf(os.Stderr, "figures: serving live counters on http://%s/debug/vars\n", addr)
+	}
+	var tracer *xtrace.Tracer
+	if *traceF != "" {
+		tracer = xtrace.New()
+		xtrace.Install(tracer)
+		sweepThread = tracer.Thread("sweep")
+		sweepStart = tracer.Now()
+		exitTrace, exitTracePath = tracer, *traceF
+		man.Trace = *traceF
 	}
 	// Curves land next to the figure outputs; with stdout output they go
 	// to the manifest directory instead.
@@ -303,8 +347,11 @@ func main() {
 			hits0, misses0, _ = cache.Stats()
 		}
 		prog.Start(e.id)
+		tracer.SetScope(e.id)
+		expStart := tracer.Now()
 		start := time.Now()
 		tab, err := e.run(runScale)
+		sweepThread.Span(e.id, xtrace.CatExperiment, expStart)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				// Cooperative drain: the workers stopped at a chunk
@@ -317,6 +364,7 @@ func main() {
 					_ = writeExplain(rec, curveDir, e.id+".partial")
 				}
 				flushProfile()
+				flushTrace()
 				flushManifest("canceled", fmt.Sprintf("%s: %v", e.id, err))
 				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.id, err)
 				os.Exit(130)
@@ -350,6 +398,26 @@ func main() {
 			tot := rec.ExplainTotals()
 			rr.Explain = &tot
 		}
+		if tracer != nil {
+			// Slice this experiment's rows out of the whole-sweep trace:
+			// straggler reports go to the manifest, the expvars, the
+			// progress stream, and <table>.timeline.tsv.
+			var reps []xtrace.RowReport
+			for _, rep := range tracer.Analyze() {
+				if rep.Experiment != e.id {
+					continue
+				}
+				reps = append(reps, rep)
+				rec.RowTimeline(rep)
+				prog.Timeline(rep)
+			}
+			rr.Timeline = reps
+			if len(reps) > 0 && curveDir != "" {
+				if err := writeTimeline(reps, curveDir, tab.Name); err != nil {
+					die(1, "figures: %s: %v\n", e.id, err)
+				}
+			}
+		}
 		var hits, misses uint64
 		if cache != nil {
 			hits, misses, _ = cache.Stats()
@@ -373,6 +441,7 @@ func main() {
 				corrupt, plural(corrupt, "y", "ies"), filepath.Join(cache.Dir(), resultcache.QuarantineDir))
 		}
 	}
+	flushTrace()
 	flushManifest("ok", "")
 }
 
@@ -398,6 +467,24 @@ func plural(n uint64, one, many string) string {
 		return one
 	}
 	return many
+}
+
+// writeTimeline renders one experiment's straggler / chunk-latency
+// reports into <dir>/<name>.timeline.tsv. Unlike the tables and curves
+// these numbers are wall-clock measurements and not byte-stable.
+func writeTimeline(reps []xtrace.RowReport, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".timeline.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := xtrace.WriteTimelineTSV(f, reps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCurves renders one experiment's cost-over-time series into
@@ -476,10 +563,11 @@ func flushManifest(status, errMsg string) {
 	}
 }
 
-// die flushes profiles and the manifest before exiting, since os.Exit
-// skips defers.
+// die flushes profiles, the trace, and the manifest before exiting,
+// since os.Exit skips defers.
 func die(code int, format string, args ...interface{}) {
 	flushProfile()
+	flushTrace()
 	flushManifest("failed", strings.TrimSpace(fmt.Sprintf(format, args...)))
 	fmt.Fprintf(os.Stderr, format, args...)
 	os.Exit(code)

@@ -1,0 +1,49 @@
+// Command tracelint validates Chrome trace-event JSON files (as exported
+// by `figures -trace` / `atsim -trace`) against the schema the viewers
+// rely on: required keys per event phase, non-negative timestamps, and
+// per-timeline span nesting. It exists so CI's trace-smoke target can
+// assert the export is loadable without shipping a browser.
+//
+// Usage:
+//
+//	tracelint sweep.trace.json [more.json ...]
+//
+// Exits 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"addrxlat/internal/xtrace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracelint <trace.json> [...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+			code = 1
+			continue
+		}
+		spans, err := xtrace.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("tracelint: %s: ok (%d spans, %d bytes)\n", path, spans, len(data))
+	}
+	os.Exit(code)
+}

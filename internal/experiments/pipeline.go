@@ -11,6 +11,7 @@ import (
 	"addrxlat/internal/mm"
 	"addrxlat/internal/parallel"
 	"addrxlat/internal/workload"
+	"addrxlat/internal/xtrace"
 )
 
 // runRowPipelined is the barrier-free row executor: a generator goroutine
@@ -49,8 +50,14 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 			}
 		}
 	}
+	// Tracing (when armed) gives the ring producer its own timeline:
+	// wait-for-consumers spans plus the in-flight / backpressure counter
+	// tracks. RingThread and WithTrace are nil-safe, so the disarmed cost
+	// is the one Active() load above this call.
+	tr := xtrace.Active()
 	ring, err := workload.NewRing(gen, streamChunk, []int{m.warmupN, m.measuredN},
-		s.lookahead(), len(sims), workload.WithFillHook(hook))
+		s.lookahead(), len(sims), workload.WithFillHook(hook),
+		workload.WithTrace(tr.RingThread(row)))
 	if err != nil {
 		return err
 	}
@@ -64,6 +71,7 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 	go func() {
 		select {
 		case <-ctx.Done():
+			tr.Instant(xtrace.InstantCancel, xtrace.ArgStr("row", row))
 			ring.Stop()
 		case <-watchDone:
 		}
@@ -79,6 +87,11 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 
 	clock := &phaseClock{left: len(sims)}
 	start := time.Now()
+	// Every worker's timeline starts at this dispatch stamp, not at its
+	// first scheduling: until a worker runs, it is by definition waiting on
+	// the generator's lead chunks, and charging that ramp to wait-generation
+	// is what keeps busy+blocked ≈ row wall even on saturated machines.
+	spawnTS := tr.Now()
 	grp := parallel.NewGroup(len(sims))
 	for i := range sims {
 		i := i
@@ -87,7 +100,7 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 			// The pprof labels make CPU profiles attribute pipeline time
 			// per (row, algorithm) worker.
 			pprof.Do(ctx, pprof.Labels("addrxlat_row", row, "addrxlat_alg", names[i]), func(context.Context) {
-				werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i)
+				werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i, spawnTS)
 			})
 			return werr
 		})
@@ -120,18 +133,52 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 // segments in order, resetting the sim's counters at the warmup→measured
 // edge. It returns nil for a poisoned cell (recorded in cellErrs[i]) and
 // an error only for cancellation.
-func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, a mm.Algorithm, sc *mm.Scratch, cellErrs []error, names []string, row string, i int) error {
+func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, a mm.Algorithm, sc *mm.Scratch, cellErrs []error, names []string, row string, i int, spawnTS int64) error {
 	ctx := s.context()
 	ep := s.explainProbe()
 	cur, seg := 0, 0
 	inWarmup := true
+
+	// One trace timeline per (row, simulator) worker, recorded only at the
+	// chunk boundaries this loop already observes. The worker span and the
+	// first phase and wait-generation spans all open at the row's dispatch
+	// stamp, so scheduler and spawn delay land in wait time, keeping
+	// busy+blocked ≈ wall.
+	tr := xtrace.Active()
+	var th *xtrace.Thread
+	var wStart, phaseStart int64
+	if tr != nil {
+		th = tr.Worker(row, names[i])
+		wStart = spawnTS
+		phaseStart = wStart
+	}
+	defer func() {
+		// Trailing phase and worker spans, on every exit path (end of
+		// stream, cancellation, poisoned cell).
+		th.Span(pipePhase(seg), xtrace.CatPhase, phaseStart)
+		th.Span(names[i], xtrace.CatWorker, wStart)
+	}()
+
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			ring.DetachFrom(cur)
 			return fmt.Errorf("experiments: cell %s|%s canceled at a %s chunk boundary: %w",
 				row, names[i], pipePhase(seg), cerr)
 		}
+		var genStart int64
+		if th != nil {
+			if cur == 0 {
+				// The worker's ramp — dispatch to first chunk — is time the
+				// generator's lead chunks were not yet published.
+				genStart = spawnTS
+			} else {
+				genStart = th.Now()
+			}
+		}
 		c, ok := ring.Get(cur)
+		if th != nil {
+			th.Span(xtrace.WaitGeneration, xtrace.CatWait, genStart, xtrace.ArgInt("seq", int64(cur)))
+		}
 		if !ok {
 			if cerr := ctx.Err(); cerr != nil {
 				ring.DetachFrom(cur)
@@ -144,6 +191,10 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 			// Warmup → measured edge: this worker's own counter reset, no
 			// cross-simulator barrier. The ring never straddles segments, so
 			// the reset lands exactly where the sequential executor puts it.
+			if th != nil {
+				th.Span(pipePhase(seg), xtrace.CatPhase, phaseStart)
+				phaseStart = th.Now()
+			}
 			seg = c.Segment
 			a.ResetCosts()
 			if inWarmup {
@@ -151,13 +202,29 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 				clock.cross()
 			}
 		}
+		var admitStart int64
+		if th != nil && gate != nil {
+			admitStart = th.Now()
+		}
 		gate.Enter()
+		if th != nil && gate != nil {
+			th.Span(xtrace.WaitAdmission, xtrace.CatWait, admitStart)
+		}
+		var chunkStart int64
+		if th != nil {
+			chunkStart = th.Now()
+		}
 		cellErr := m.serveChunk(s, ep, a, sc, c.Data, row, pipePhase(seg), names[i])
+		if th != nil {
+			th.Span(pipePhase(seg), xtrace.CatChunk, chunkStart,
+				xtrace.ArgInt("seq", int64(c.Seq)), xtrace.ArgInt("n", int64(len(c.Data))))
+		}
 		gate.Leave()
 		ring.Release(cur)
 		cur++
 		if cellErr != nil {
 			cellErrs[i] = cellErr
+			tr.Instant(xtrace.InstantQuarantine, xtrace.ArgStr("cell", row+"|"+names[i]))
 			ring.DetachFrom(cur)
 			if inWarmup {
 				clock.cross()
@@ -186,6 +253,8 @@ func (m *fig1Machine) serveChunk(s Scale, ep ExplainProbe, a mm.Algorithm, sc *m
 		}
 	}()
 	if faultinject.Armed() && faultinject.Fire(faultinject.CellPanic, row+"|"+name) {
+		xtrace.Active().Instant(xtrace.InstantFault,
+			xtrace.ArgStr("point", faultinject.CellPanic), xtrace.ArgStr("cell", row+"|"+name))
 		panic("injected cell fault")
 	}
 	accessAll(a, chunk, sc)

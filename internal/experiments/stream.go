@@ -9,6 +9,7 @@ import (
 	"addrxlat/internal/faultinject"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/workload"
+	"addrxlat/internal/xtrace"
 )
 
 // Probe observes the row drivers: phase-lifecycle events and periodic
@@ -93,12 +94,17 @@ type CostCache interface {
 	Put(key string, c mm.Costs)
 }
 
-// cacheGet consults the scale's cache, tolerating a nil cache.
+// cacheGet consults the scale's cache, tolerating a nil cache. A hit
+// lands on the execution trace (it explains a row finishing "instantly").
 func (s Scale) cacheGet(key string) (mm.Costs, bool) {
 	if s.Cache == nil {
 		return mm.Costs{}, false
 	}
-	return s.Cache.Get(key)
+	c, ok := s.Cache.Get(key)
+	if ok {
+		xtrace.Active().Instant(xtrace.InstantCacheHit, xtrace.ArgStr("key", key))
+	}
+	return c, ok
 }
 
 // cachePut records a finished cell, tolerating a nil cache.
@@ -151,6 +157,17 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 	if err != nil {
 		return cellErrs, err
 	}
+	// Execution tracing: the row's lifecycle span lives on its own
+	// timeline, covering whichever executor runs it. rowTrace is nil when
+	// tracing is off, so the disarmed cost of the whole row is this one
+	// atomic load.
+	row := string(m.workload)
+	var rt *rowTrace
+	if tr := xtrace.Active(); tr != nil {
+		rt = &rowTrace{tr: tr, rowTh: tr.RowThread(row)}
+		rowStart := tr.Now()
+		defer func() { rt.rowTh.Span(row, xtrace.CatRow, rowStart) }()
+	}
 	// Simulator names are resolved once per row: the probe hook needs
 	// them per chunk, the fault-injection matcher per cell, the pipelined
 	// executor's pprof labels per worker — and Name() formats.
@@ -179,7 +196,17 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 	if w := s.rowWorkers(); w > 1 && len(sims) > 1 {
 		return cellErrs, m.runRowPipelined(s, gen, sims, scratch, cellErrs, names, w)
 	}
-	if err := m.window(s, gen, m.warmupN, sims, scratch, cellErrs, names, mm.PhaseWarmup); err != nil {
+	if rt != nil {
+		// The sequential executor interleaves every simulator in one
+		// goroutine (or forEach workers joined per chunk), but each still
+		// gets its own timeline so chunk latencies aggregate per (row, alg)
+		// exactly like the pipelined executor's.
+		rt.ths = make([]*xtrace.Thread, len(sims))
+		for i := range sims {
+			rt.ths[i] = rt.tr.Worker(row, names[i])
+		}
+	}
+	if err := m.window(s, gen, m.warmupN, sims, scratch, cellErrs, names, rt, mm.PhaseWarmup); err != nil {
 		return cellErrs, err
 	}
 	for i, a := range sims {
@@ -187,18 +214,29 @@ func (m *fig1Machine) runRow(s Scale, sims []mm.Algorithm) (cellErrs []error, er
 			a.ResetCosts()
 		}
 	}
-	return cellErrs, m.window(s, gen, m.measuredN, sims, scratch, cellErrs, names, mm.PhaseMeasured)
+	return cellErrs, m.window(s, gen, m.measuredN, sims, scratch, cellErrs, names, rt, mm.PhaseMeasured)
+}
+
+// rowTrace bundles one sequential row's trace timelines: the row's own
+// thread (lifecycle span, generation waits) and the per-simulator worker
+// threads. A nil *rowTrace means tracing is off; tr is non-nil whenever
+// rt is, while the thread fields may be nil past the tracer's thread cap
+// (every Thread method tolerates a nil receiver).
+type rowTrace struct {
+	tr    *xtrace.Tracer
+	rowTh *xtrace.Thread
+	ths   []*xtrace.Thread
 }
 
 // window streams one phase of the row and, with a probe attached, reports
 // the phase's access count and wall time when it completes.
-func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, phase string) error {
+func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, rt *rowTrace, phase string) error {
 	row := string(m.workload)
 	if s.Probe == nil {
-		return streamWindow(s, gen, n, sims, scratch, cellErrs, names, row, phase)
+		return streamWindow(s, gen, n, sims, scratch, cellErrs, names, rt, row, phase)
 	}
 	start := time.Now()
-	if err := streamWindow(s, gen, n, sims, scratch, cellErrs, names, row, phase); err != nil {
+	if err := streamWindow(s, gen, n, sims, scratch, cellErrs, names, rt, row, phase); err != nil {
 		return err
 	}
 	s.Probe.RowPhase(row, phase, "", n, time.Since(start))
@@ -217,7 +255,7 @@ func (m *fig1Machine) window(s Scale, gen workload.Generator, n int, sims []mm.A
 // cancellation) and the sweep-kill fault point (crash simulation for the
 // resume tests). A per-sim panic is recovered into cellErrs[i]; the sim
 // is excluded from all later chunks of the row.
-func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, row, phase string) error {
+func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, rt *rowTrace, row, phase string) error {
 	ctx := s.context()
 	ep := s.explainProbe()
 	src, err := workload.NewSource(gen, streamChunk, n)
@@ -225,17 +263,37 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, s
 		return err
 	}
 	defer src.Stop()
+	if rt != nil {
+		// One phase span per simulator covering this window, emitted on
+		// every exit path so the chunk spans below always nest.
+		phaseStart := rt.tr.Now()
+		defer func() {
+			for _, th := range rt.ths {
+				th.Span(phase, xtrace.CatPhase, phaseStart)
+			}
+		}()
+	}
 	live := make([]int, 0, len(sims))
 	var chunk []uint64
 	for chunkIdx := 0; ; chunkIdx++ {
 		if err := ctx.Err(); err != nil {
+			if rt != nil {
+				rt.tr.Instant(xtrace.InstantCancel, xtrace.ArgStr("row", row))
+			}
 			return fmt.Errorf("experiments: row %s canceled at a %s chunk boundary: %w", row, phase, err)
 		}
 		if faultinject.Armed() && faultinject.Fire(faultinject.SweepKill, row) {
 			faultinject.Kill(fmt.Sprintf("row %s, %s chunk %d", row, phase, chunkIdx))
 		}
+		var genStart int64
+		if rt != nil {
+			genStart = rt.tr.Now()
+		}
 		var ok bool
 		chunk, ok = src.Next()
+		if rt != nil {
+			rt.rowTh.Span(xtrace.WaitGeneration, xtrace.CatWait, genStart, xtrace.ArgInt("seq", int64(chunkIdx)))
+		}
 		if !ok {
 			return nil
 		}
@@ -252,11 +310,22 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, s
 			defer func() {
 				if r := recover(); r != nil {
 					cellErrs[i] = fmt.Errorf("experiments: cell %s|%s panicked: %v", row, sims[i].Name(), r)
+					if rt != nil {
+						rt.tr.Instant(xtrace.InstantQuarantine, xtrace.ArgStr("cell", row+"|"+names[i]))
+					}
 				}
 			}()
 			if faultinject.Armed() &&
 				faultinject.Fire(faultinject.CellPanic, row+"|"+names[i]) {
+				xtrace.Active().Instant(xtrace.InstantFault,
+					xtrace.ArgStr("point", faultinject.CellPanic), xtrace.ArgStr("cell", row+"|"+names[i]))
 				panic("injected cell fault")
+			}
+			var th *xtrace.Thread
+			var chunkStart int64
+			if rt != nil {
+				th = rt.ths[i]
+				chunkStart = th.Now()
 			}
 			accessAll(sims[i], chunk, scratch[i])
 			if s.Probe != nil {
@@ -265,6 +334,8 @@ func streamWindow(s Scale, gen workload.Generator, n int, sims []mm.Algorithm, s
 					deliverExplain(ep, row, phase, names[i], sims[i])
 				}
 			}
+			th.Span(phase, xtrace.CatChunk, chunkStart,
+				xtrace.ArgInt("seq", int64(chunkIdx)), xtrace.ArgInt("n", int64(len(chunk))))
 		}
 		if len(live) == 1 {
 			serve(live[0])

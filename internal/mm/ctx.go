@@ -1,6 +1,10 @@
 package mm
 
-import "context"
+import (
+	"context"
+
+	"addrxlat/internal/xtrace"
+)
 
 // cancelChunk is the request granularity the context-aware runners check
 // cancellation at when no sampling interval is set: large enough that the
@@ -71,7 +75,24 @@ func SliceChunks(requests []uint64, every int) ChunkSeq {
 // kernels. By the Batcher contract the chunking changes no counters; on
 // cancellation the counters accumulated so far remain on the algorithm
 // and the context's error is returned.
+//
+// With an execution tracer installed (xtrace.Install) the phase gets its
+// own worker timeline — a phase span containing one span per chunk — so
+// the materialized runners (atsim, the related/geometry studies) appear
+// in the trace alongside the streaming rows. The timeline carries no row
+// label; the analyzer groups such phases per algorithm. Disabled cost:
+// one atomic load per phase, a nil check per chunk.
 func RunPhaseChunksCtx(ctx context.Context, a Algorithm, next ChunkSeq, sc *Scratch, s Sampler, phase, name string) error {
+	var th *xtrace.Thread
+	if tr := xtrace.Active(); tr != nil {
+		tn := name
+		if tn == "" {
+			tn = a.Name()
+		}
+		th = tr.Worker("", tn)
+		phaseStart := th.Now()
+		defer func() { th.Span(phase, xtrace.CatPhase, phaseStart) }()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -80,9 +101,16 @@ func RunPhaseChunksCtx(ctx context.Context, a Algorithm, next ChunkSeq, sc *Scra
 		if !ok {
 			return nil
 		}
+		var chunkStart int64
+		if th != nil {
+			chunkStart = th.Now()
+		}
 		AccessChunk(a, chunk, sc)
 		if s != nil {
 			s.Sample(phase, name, a.Costs())
+		}
+		if th != nil {
+			th.Span(phase, xtrace.CatChunk, chunkStart, xtrace.ArgInt("n", int64(len(chunk))))
 		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"addrxlat/internal/xtrace"
 )
 
 // PhaseRecord is one warmup or measured window in a run manifest: which
@@ -49,6 +51,11 @@ type RunRecord struct {
 	// Explain summarizes the experiment's cost attribution (summed across
 	// rows, phases and algorithms) when the run recorded it (-explain).
 	Explain *Counters `json:"explain,omitempty"`
+	// Timeline holds the per-row straggler / chunk-latency reports derived
+	// from the execution trace when the run recorded one (-trace). The
+	// numbers are wall-clock measurements: useful for diagnosis,
+	// reproducible in shape but not in value.
+	Timeline []xtrace.RowReport `json:"timeline,omitempty"`
 }
 
 // Manifest records everything needed to reproduce and audit one CLI
@@ -79,7 +86,14 @@ type Manifest struct {
 	Error   string `json:"error,omitempty"`
 	// Journal is the path of the sweep journal witnessing per-cell and
 	// per-experiment completion for this run (see internal/journal).
-	Journal     string      `json:"journal,omitempty"`
+	Journal string `json:"journal,omitempty"`
+	// Trace is the path of the Perfetto-loadable execution trace the run
+	// exported (-trace), and HTTPAddr the bound address of the expvar
+	// endpoint (-http) — recorded so a tooling run over the manifest can
+	// find both without re-deriving flag defaults (":0" binds a random
+	// port; the manifest holds the real one).
+	Trace       string      `json:"trace,omitempty"`
+	HTTPAddr    string      `json:"http_addr,omitempty"`
 	Experiments []RunRecord `json:"experiments,omitempty"`
 	Cache       *CacheStats `json:"cache,omitempty"`
 }

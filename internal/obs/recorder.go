@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"addrxlat/internal/mm"
+	"addrxlat/internal/xtrace"
 )
 
 // Point is one sample of an algorithm's cumulative cost counters.
@@ -47,10 +48,11 @@ type seriesKey struct{ row, phase, alg string }
 type Recorder struct {
 	interval uint64
 
-	mu       sync.Mutex
-	series   map[seriesKey]*Series
-	phases   []PhaseRecord
-	explains map[seriesKey]*ExplainSeries
+	mu        sync.Mutex
+	series    map[seriesKey]*Series
+	phases    []PhaseRecord
+	explains  map[seriesKey]*ExplainSeries
+	timelines []xtrace.RowReport
 }
 
 // NewRecorder returns a Recorder that records a curve point whenever a

@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"sync"
+
+	"addrxlat/internal/xtrace"
 )
 
 // DefaultLookahead is the chunk-ring depth the experiment harness streams
@@ -60,6 +62,7 @@ type Ring struct {
 	depth     int
 	nChunks   int
 	fillHook  func(seq, segment, index int)
+	trace     *xtrace.Thread // producer-owned timeline; nil when tracing is off
 
 	mu        sync.Mutex
 	canRead   sync.Cond // consumers wait for a publish
@@ -83,6 +86,16 @@ type RingOption func(*Ring)
 // call back into the ring.
 func WithFillHook(fn func(seq, segment, index int)) RingOption {
 	return func(r *Ring) { r.fillHook = fn }
+}
+
+// WithTrace attaches an execution-trace timeline to the producer: spans
+// for the episodes it blocks on a full ring (xtrace.WaitConsumers) and a
+// counter track sampling the in-flight depth and backpressure counts at
+// each publish. The thread becomes producer-owned — nothing else may
+// record into it until the producer exits. A nil thread is a no-op, so
+// callers pass the result of RingThread unconditionally.
+func WithTrace(th *xtrace.Thread) RingOption {
+	return func(r *Ring) { r.trace = th }
 }
 
 // NewRing starts streaming the segments' requests from g in chunks of
@@ -142,18 +155,26 @@ func (r *Ring) produce(g Generator, segments []int) {
 				n = total
 			}
 			slot := seq % r.depth
+			waitStart := int64(-1)
 			r.mu.Lock()
 			if r.refs[slot] != 0 && !r.stopped && r.consumers > 0 {
 				r.stats.ProducerWaits++
+				if r.trace != nil {
+					waitStart = r.trace.Now()
+				}
 				for r.refs[slot] != 0 && !r.stopped && r.consumers > 0 {
 					r.canWrite.Wait()
 				}
 			}
-			if r.stopped || r.consumers == 0 {
-				r.mu.Unlock()
+			dead := r.stopped || r.consumers == 0
+			r.mu.Unlock()
+			if waitStart >= 0 {
+				r.trace.Span(xtrace.WaitConsumers, xtrace.CatWait, waitStart,
+					xtrace.ArgInt("seq", int64(seq)))
+			}
+			if dead {
 				return
 			}
-			r.mu.Unlock()
 
 			// The slot is invisible to consumers until published below, so
 			// generation runs outside the lock.
@@ -172,8 +193,18 @@ func (r *Ring) produce(g Generator, segments []int) {
 				r.stats.PeakInFlight = r.inFlight
 			}
 			r.stats.Chunks++
+			inFlight, st := r.inFlight, r.stats
 			r.canRead.Broadcast()
 			r.mu.Unlock()
+
+			if r.trace != nil {
+				// Counter samples at publish, outside the lock, from the
+				// values captured under it.
+				r.trace.Counter("ring", xtrace.ArgInt("in_flight", int64(inFlight)))
+				r.trace.Counter("ring backpressure",
+					xtrace.ArgInt("producer_waits", int64(st.ProducerWaits)),
+					xtrace.ArgInt("consumer_waits", int64(st.ConsumerWaits)))
+			}
 
 			seq++
 			total -= n

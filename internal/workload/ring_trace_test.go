@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"addrxlat/internal/xtrace"
+)
+
+// TestRingStopWithTracing aborts a traced ring mid-row — while the
+// producer is blocked on a full ring — and asserts the abort contract
+// tracing must not weaken: RingStats stay monotone across the abort, the
+// producer goroutine exits, and the tracer still exports valid JSON (the
+// blocked-on-consumers span is closed on the exit path, not leaked open).
+func TestRingStopWithTracing(t *testing.T) {
+	tr := xtrace.New()
+	tr.SetScope("test")
+
+	before := runtime.NumGoroutine()
+
+	gen, err := NewBimodal(1<<8, 1<<12, 0.99, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk, depth = 8, 2
+	r, err := NewRing(gen, chunk, []int{64, 64}, depth, 1, WithTrace(tr.RingThread("abort-row")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain two chunks, then hold the third without releasing: with depth
+	// 2 the producer fills the ring and blocks on the held slot.
+	for seq := 0; seq < 2; seq++ {
+		c, ok := r.Get(seq)
+		if !ok {
+			t.Fatalf("chunk %d: stream ended early", seq)
+		}
+		if len(c.Data) != chunk {
+			t.Fatalf("chunk %d: %d requests, want %d", seq, len(c.Data), chunk)
+		}
+		r.Release(seq)
+	}
+	if _, ok := r.Get(2); !ok {
+		t.Fatal("chunk 2: stream ended early")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().ProducerWaits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never blocked on the held chunk")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mid := r.Stats()
+
+	// Abort mid-row. The held chunk is never released — Stop must still
+	// unblock the producer.
+	r.Stop()
+
+	// The producer goroutine must exit.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("producer leaked: %d goroutines before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stats must be monotone across the abort: an abandoned stream reports
+	// what happened, it never rolls counters back.
+	final := r.Stats()
+	if final.Chunks < mid.Chunks || final.ProducerWaits < mid.ProducerWaits ||
+		final.ConsumerWaits < mid.ConsumerWaits || final.PeakInFlight < mid.PeakInFlight {
+		t.Fatalf("stats regressed across Stop: mid %+v, final %+v", mid, final)
+	}
+	if final.Chunks >= r.NumChunks() {
+		t.Fatalf("aborted stream claims %d of %d chunks published", final.Chunks, r.NumChunks())
+	}
+	if final.ProducerWaits == 0 || final.PeakInFlight != depth {
+		t.Fatalf("expected a full blocked ring before the abort, got %+v", final)
+	}
+
+	// The producer has exited, so the tracer is quiescent: the export must
+	// be schema-valid with the abort-path wait span present and closed.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := xtrace.Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace invalid after abort: %v", err)
+	}
+	if spans == 0 {
+		t.Fatal("no spans exported: the blocked-producer episode was dropped")
+	}
+}
