@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-diff race vet fuzz-smoke trace-smoke
+.PHONY: all build test check bench bench-diff race vet fuzz-smoke trace-smoke serve-smoke
 
 all: build
 
@@ -72,6 +72,32 @@ trace-smoke:
 	@test -s results/trace-smoke/f1a-bimodal.timeline.tsv || \
 		{ echo "trace-smoke: missing timeline TSV" >&2; exit 1; }
 
+# serve-smoke runs the serving-layer drill end-to-end: the sv1/sv2
+# goodput+latency sweep (five offered loads per algorithm, up to 3×
+# overload, so admission control and the degradation governor both
+# engage), then the same sweep with a serve-burst fault fired on the
+# first serve cell (a burst of decoupling-failure IOs, exercising the
+# retry/backoff path; the blob cache is bypassed by design while the
+# fault is planned, so a clean run can never see a burst-perturbed
+# point), and finally sanity checks: every grid point rendered a data
+# row, no cell footnoted an error, and the manifest carries the serve
+# record (offered-load grid + governor config) that makes the numbers
+# auditable. Artifacts land in results/serve-smoke/ and are uploaded by CI.
+serve-smoke:
+	@rm -rf results/serve-smoke && mkdir -p results/serve-smoke
+	$(GO) run ./cmd/figures -fig sv1,sv2 -seed 7 -out results/serve-smoke \
+		-manifest results/serve-smoke -cache results/serve-smoke/cache -progress=false
+	ADDRXLAT_FAULTS='serve-burst@1' $(GO) run ./cmd/figures -fig sv1 -seed 7 \
+		-out results/serve-smoke/burst -manifest results/serve-smoke/burst \
+		-cache results/serve-smoke/burst-cache -progress=false
+	@test "$$(grep -c '^[0-9]' results/serve-smoke/sv-goodput.tsv)" -eq 20 || \
+		{ echo "serve-smoke: sv-goodput.tsv is missing grid rows" >&2; exit 1; }
+	@! grep -q 'error' results/serve-smoke/sv-goodput.tsv || \
+		{ echo "serve-smoke: sv-goodput.tsv has footnoted error cells" >&2; exit 1; }
+	@grep -q '"table": "sv-goodput"' results/serve-smoke/manifest-*.json && \
+		grep -q '"governor"' results/serve-smoke/manifest-*.json || \
+		{ echo "serve-smoke: manifest is missing the serve record" >&2; exit 1; }
+
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke covering the scalar
 # AND staged-batch Access kernels so the benchmark harness itself can't
@@ -79,8 +105,9 @@ trace-smoke:
 # producer goroutines + per-chunk fan-out) and one staged-batch kernel
 # (scratch reuse across chunks), and a race-mode smoke of the pipelined
 # row executor (Workers=4, lookahead=2: ring publish/release, gate,
-# probe delivery, phase clock).
-check: vet test race
+# probe delivery, phase clock), and the serving-layer overload +
+# serve-burst drill (serve-smoke).
+check: vet test race serve-smoke
 	$(GO) test -bench='BenchmarkAccess(Batch)?(HugePage|Decoupled|THP|Superpage)' -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkFig1aBimodal -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkAccessBatchDecoupled -benchtime=1x -run=^$$ .

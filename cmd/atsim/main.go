@@ -30,6 +30,7 @@ import (
 	"addrxlat/internal/obs"
 	"addrxlat/internal/policy"
 	"addrxlat/internal/prof"
+	"addrxlat/internal/serve"
 	"addrxlat/internal/trace"
 	"addrxlat/internal/workload"
 	"addrxlat/internal/xtrace"
@@ -96,6 +97,16 @@ func main() {
 		curves   = flag.String("curves", "", "cost-curve output file (default <manifest dir>/atsim.curves.tsv)")
 		maniDir  = flag.String("manifest", "results", "write a run-manifest JSON into this directory (empty disables)")
 		traceF   = flag.String("trace", "", "export a Perfetto-loadable execution trace (Chrome trace-event JSON) of the run to this file; counters stay byte-identical")
+
+		serveF        = flag.Bool("serve", false, "run the discrete-event serving front-end over the workload and algorithm instead of a raw access run (see DESIGN.md §13)")
+		serveLoad     = flag.Float64("serve-load", 1.0, "offered load, as a multiple of the calibrated capacity (mean service rate)")
+		serveReq      = flag.Int("serve-requests", 5000, "requests offered to the serving run")
+		serveWarm     = flag.Int("serve-warmup", 1000, "closed-loop calibration requests before the measured run")
+		serveBlock    = flag.Int("serve-block", 256, "pages each request accesses")
+		serveDeadline = flag.Int64("serve-deadline", 80, "request deadline, in multiples of the calibrated mean service time (0 disables deadlines)")
+		serveArrivals = flag.String("serve-arrivals", "poisson", "arrival process: poisson|burst|diurnal")
+		serveQueue    = flag.Int("serve-queue", 256, "admission queue capacity")
+		serveAttempts = flag.Int("serve-attempts", 3, "total service attempts for requests hitting decoupling failure IOs")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -129,6 +140,34 @@ func main() {
 		xtrace.Install(tracer)
 		exitTrace, exitTracePath = tracer, *traceF
 		man.Trace = *traceF
+	}
+
+	if *serveF {
+		if *replay != "" {
+			fail(fmt.Errorf("-serve drives a live generator; it cannot replay a trace"))
+		}
+		gen, err := buildGenerator(*wl, *vPages, *hotPg, *hotFrac, *zipfS, *alpha, *seed)
+		if err != nil {
+			fail(err)
+		}
+		alg, err := buildAlgorithm(*algo, core.AllocKind(allocName(*alloc)), *h, *g, *vPages, *ramPg,
+			*tlbEnt, *wBits, policy.Kind(*tlbPol), policy.Kind(*ramPol), *seed)
+		if err != nil {
+			fail(err)
+		}
+		rr, err := runServeMode(alg, gen, serveModeConfig{
+			workload: *wl, seed: *seed,
+			load: *serveLoad, requests: *serveReq, warmup: *serveWarm,
+			blockPages: *serveBlock, deadlineMul: *serveDeadline,
+			arrivals: *serveArrivals, queueCap: *serveQueue, attempts: *serveAttempts,
+		})
+		if err != nil {
+			fail(err)
+		}
+		man.Experiments = []obs.RunRecord{rr}
+		flushTrace()
+		flushManifest("ok", "")
+		return
 	}
 
 	var (
@@ -495,19 +534,31 @@ func allocName(s string) string {
 	}
 }
 
+// buildGenerator constructs the streaming generator workloads — the ones
+// the serving front-end can drive directly (graph500 and replay are
+// materialized traces, not generators).
+func buildGenerator(kind string, vPages, hotPg uint64, hotProb, zipfS, alpha float64, seed uint64) (workload.Generator, error) {
+	switch kind {
+	case "bimodal":
+		return workload.NewBimodal(hotPg, vPages, hotProb, seed)
+	case "graphwalk":
+		return workload.NewGraphWalk(vPages, alpha, seed)
+	case "uniform":
+		return workload.NewUniform(vPages, seed)
+	case "zipf":
+		return workload.NewZipf(vPages, zipfS, seed)
+	case "sequential":
+		return workload.NewSequential(vPages)
+	default:
+		return nil, fmt.Errorf("workload %q is not a streaming generator (want bimodal|graphwalk|uniform|zipf|sequential)", kind)
+	}
+}
+
 func buildWorkload(kind string, vPages uint64, warmN, measN int, hotPg uint64, hotProb, zipfS, alpha float64, gscale int, seed uint64) (warm, meas []uint64, vSpace uint64, err error) {
 	var gen workload.Generator
 	switch kind {
-	case "bimodal":
-		gen, err = workload.NewBimodal(hotPg, vPages, hotProb, seed)
-	case "graphwalk":
-		gen, err = workload.NewGraphWalk(vPages, alpha, seed)
-	case "uniform":
-		gen, err = workload.NewUniform(vPages, seed)
-	case "zipf":
-		gen, err = workload.NewZipf(vPages, zipfS, seed)
-	case "sequential":
-		gen, err = workload.NewSequential(vPages)
+	case "bimodal", "graphwalk", "uniform", "zipf", "sequential":
+		gen, err = buildGenerator(kind, vPages, hotPg, hotProb, zipfS, alpha, seed)
 	case "graph500":
 		g, gerr := graph500.Generate(graph500.Config{Scale: gscale, EdgeFactor: 16, Seed: seed})
 		if gerr != nil {
@@ -636,4 +687,120 @@ func fail(err error) {
 	flushManifest(status, err.Error())
 	fmt.Fprintf(os.Stderr, "atsim: %v\n", err)
 	os.Exit(code)
+}
+
+// serveModeConfig carries the -serve-* flags into runServeMode.
+type serveModeConfig struct {
+	workload    string
+	seed        uint64
+	load        float64
+	requests    int
+	warmup      int
+	blockPages  int
+	deadlineMul int64
+	arrivals    string
+	queueCap    int
+	attempts    int
+}
+
+// runServeMode drives the discrete-event serving front-end (DESIGN.md
+// §13) over one algorithm: calibrate capacity closed-loop, scale the
+// latency-sensitive knobs to the measured mean service time, then run the
+// offered load open-loop and print the serve taxonomy and latency
+// quantiles. The full sweep record lands in the manifest.
+func runServeMode(alg mm.Algorithm, gen workload.Generator, cfg serveModeConfig) (obs.RunRecord, error) {
+	if cfg.load <= 0 {
+		return obs.RunRecord{}, fmt.Errorf("-serve-load must be positive, got %g", cfg.load)
+	}
+	// Explain stays on in serve mode: the retry machinery triggers on the
+	// explain taxonomy's failure-IO counter.
+	ec := mm.EnableExplain(alg)
+	sim, err := serve.New(serve.Config{
+		Seed:        cfg.seed,
+		Requests:    cfg.requests,
+		BlockPages:  cfg.blockPages,
+		QueueCap:    cfg.queueCap,
+		MaxAttempts: cfg.attempts,
+		Governor: serve.GovernorConfig{
+			WindowNs:     1, // rescaled to the calibrated mean below
+			QueueHigh:    cfg.queueCap * 3 / 4,
+			MissNum:      1,
+			MissDen:      5,
+			RecoverDepth: cfg.queueCap / 5,
+			DegradedDiv:  4,
+		},
+	}, alg, gen, &mm.Scratch{}, ec)
+	if err != nil {
+		return obs.RunRecord{}, err
+	}
+	start := time.Now()
+	mean := sim.Calibrate(cfg.warmup)
+	sim.SetDeadlineNs(cfg.deadlineMul * mean)
+	sim.SetGovernorWindowNs(20 * mean)
+	sim.SetRetryBaseNs(4 * mean)
+	sim.SetTokenBucket(mean/4+1, int64(cfg.queueCap))
+	var arr workload.ArrivalProcess
+	switch cfg.arrivals {
+	case "poisson":
+		arr = workload.NewPoisson(cfg.seed+2, float64(mean)/cfg.load)
+	case "burst":
+		// 50% duty cycle at twice the rate: same offered load, bursty.
+		arr = workload.NewOnOffBurst(cfg.seed+2, float64(mean)/(2*cfg.load), 500*mean, 500*mean)
+	case "diurnal":
+		arr = workload.NewDiurnal(cfg.seed+2, float64(mean)/cfg.load, []int64{2000 * mean}, []float64{0.5})
+	default:
+		return obs.RunRecord{}, fmt.Errorf("unknown -serve-arrivals %q (want poisson|burst|diurnal)", cfg.arrivals)
+	}
+	sim.SetArrivals(arr)
+	res := sim.Run()
+	elapsed := time.Since(start)
+	if err := res.Counters.CheckIdentity(); err != nil {
+		return obs.RunRecord{}, err
+	}
+
+	c := res.Counters
+	fmt.Printf("algorithm: %s\n", alg.Name())
+	fmt.Printf("serving:   %s arrivals at %.2fx capacity, %d requests of %d pages (calibrated on %d)\n",
+		arr.Name(), cfg.load, cfg.requests, cfg.blockPages, cfg.warmup)
+	fmt.Printf("capacity:  mean service %d ns -> %.1f req/s; deadline %dx mean, queue cap %d, %d attempts\n",
+		mean, 1e9/float64(mean), cfg.deadlineMul, cfg.queueCap, cfg.attempts)
+	fmt.Printf("taxonomy:  offered %d = admitted %d + rejected %d (queue %d, throttle %d)\n",
+		c.Offered, c.Admitted, c.RejectedQueue+c.RejectedThrottle, c.RejectedQueue, c.RejectedThrottle)
+	fmt.Printf("           admitted %d = completed %d + timed out %d (queued %d, served %d) + shed %d\n",
+		c.Admitted, c.Completed, c.TimedOutQueued+c.TimedOutServed, c.TimedOutQueued, c.TimedOutServed, c.Shed)
+	fmt.Printf("           retries %d (exhausted %d), degraded %d, governor trips %d / recovers %d\n",
+		c.Retries, c.RetryExhausted, c.Degraded, c.GovernorTrips, c.GovernorRecovers)
+	fmt.Printf("goodput:   %.1f req/s over a %.3fs virtual horizon\n",
+		res.GoodputPerSec(), float64(res.HorizonNs)/1e9)
+	fmt.Printf("latency:   p50 %d ns, p99 %d ns, p999 %d ns (completed requests; max queue depth %d)\n",
+		res.Latency.Quantile(0.50), res.Latency.Quantile(0.99), res.Latency.Quantile(0.999), res.MaxQueueDepth)
+
+	pt := serve.PointFrom(alg.Name(), cfg.load, res)
+	rec := serve.SweepRecord{
+		Table:       "atsim-serve",
+		Workload:    cfg.workload,
+		Arrivals:    arr.Name(),
+		Loads:       []float64{cfg.load},
+		Requests:    cfg.requests,
+		Warmup:      cfg.warmup,
+		BlockPages:  cfg.blockPages,
+		QueueCap:    cfg.queueCap,
+		DeadlineNs:  cfg.deadlineMul, // multiples of the calibrated mean
+		MaxAttempts: cfg.attempts,
+		RetryBaseNs: 4,
+		Cost:        serve.DefaultCostModel(),
+		Governor: serve.GovernorConfig{
+			WindowNs:     20,
+			QueueHigh:    cfg.queueCap * 3 / 4,
+			MissNum:      1,
+			MissDen:      5,
+			RecoverDepth: cfg.queueCap / 5,
+			DegradedDiv:  4,
+		},
+		Points: []serve.Point{pt},
+	}
+	return obs.RunRecord{
+		ID: "serve", Table: "atsim-serve", Rows: 1,
+		WallSeconds: elapsed.Seconds(), Serve: &rec,
+	}, nil
 }

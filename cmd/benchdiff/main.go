@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -94,6 +95,14 @@ func main() {
 		// intended anchor) — the newest file is often the PR's own "after"
 		// numbers, which only measures noise.
 		p, err := newestBaseline(".")
+		if errors.Is(err, errNoBaselines) {
+			// A missing baseline is not a failure — a fresh clone or a new
+			// machine simply has nothing to compare against yet. Say so
+			// plainly and succeed, so `make bench-diff` and CI don't paint
+			// a setup state as a perf regression.
+			fmt.Printf("benchdiff: %v — nothing to compare against; skipping (record one with scripts or pass -baseline)\n", err)
+			os.Exit(0)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: -baseline not set and %v\n", err)
 			os.Exit(2)
@@ -152,6 +161,11 @@ func main() {
 	}
 }
 
+// errNoBaselines marks the benign can't-compare state: the directory
+// holds no BENCH_*.json at all. main exits 0 on it with a clear message,
+// unlike real errors (unreadable file, bad JSON), which stay exit 2.
+var errNoBaselines = errors.New("no BENCH_*.json baseline")
+
 // newestBaseline finds the lexicographically last BENCH_*.json in dir —
 // the convention names them BENCH_PR<n>.json, so "newest" and "last"
 // coincide for single-digit sequences and the Makefile overrides with an
@@ -162,7 +176,7 @@ func newestBaseline(dir string) (string, error) {
 		return "", err
 	}
 	if len(matches) == 0 {
-		return "", fmt.Errorf("no BENCH_*.json found in %s", dir)
+		return "", fmt.Errorf("%w found in %s", errNoBaselines, dir)
 	}
 	sort.Strings(matches)
 	return matches[len(matches)-1], nil

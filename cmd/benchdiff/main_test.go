@@ -1,7 +1,10 @@
 package main
 
 import (
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -147,5 +150,38 @@ func TestRenderShowsSpread(t *testing.T) {
 		if strings.HasPrefix(line, "BenchmarkColdExtra") && !strings.Contains(line, "-") {
 			t.Fatalf("ColdExtra row should render '-' for spread: %q", line)
 		}
+	}
+}
+
+// TestNewestBaselineMissing pins the benign no-baseline state: an empty
+// directory yields errNoBaselines (so main exits 0 with a message rather
+// than painting a fresh clone as a perf failure), and the error names
+// the directory it searched.
+func TestNewestBaselineMissing(t *testing.T) {
+	dir := t.TempDir()
+	_, err := newestBaseline(dir)
+	if !errors.Is(err, errNoBaselines) {
+		t.Fatalf("newestBaseline(%s) err = %v, want errNoBaselines", dir, err)
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Fatalf("error %q does not name the searched directory %s", err, dir)
+	}
+}
+
+// TestNewestBaselinePicksLast checks the selection rule: with several
+// BENCH_*.json present, the lexicographically last one wins.
+func TestNewestBaselinePicksLast(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR1.json", "BENCH_PR3.json", "BENCH_PR2.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR3.json" {
+		t.Fatalf("newestBaseline picked %s, want BENCH_PR3.json", got)
 	}
 }

@@ -103,7 +103,7 @@ func flushTrace() {
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment ids, comma-separated: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|...|all")
+		fig       = flag.String("fig", "all", "experiment ids, comma-separated: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|sv1|sv2|...|all")
 		full      = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
 		seed      = flag.Uint64("seed", 1, "root random seed")
 		format    = flag.String("format", "tsv", "output format: tsv|csv")
@@ -174,6 +174,9 @@ func main() {
 	scale.Ctx = ctx
 	scale.Workers = *workers
 	scale.Lookahead = *lookahead
+	// The stalled-worker watchdog arms from the environment, never a
+	// default: ADDRXLAT_WATCHDOG=30s style (see DESIGN.md).
+	scale.Watchdog = experiments.WatchdogFromEnv()
 	var cache *resultcache.Cache
 	if !*noCache && *cacheDir != "" {
 		var err error
@@ -182,6 +185,7 @@ func main() {
 			die(1, "figures: %v\n", err)
 		}
 		scale.Cache = cache
+		scale.Blobs = cache
 	}
 
 	type runner func(experiments.Scale) (*experiments.Table, error)
@@ -223,6 +227,8 @@ func main() {
 			return experiments.MultiCoreStudy(1536, 1<<14, 2_000_000, *seed)
 		}},
 		{"x1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Crossover(s, *seed) }},
+		{"sv1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.ServeGoodput(s, *seed) }},
+		{"sv2", func(s experiments.Scale) (*experiments.Table, error) { return experiments.ServeLatency(s, *seed) }},
 	}
 
 	var selected []struct {
@@ -398,6 +404,10 @@ func main() {
 			tot := rec.ExplainTotals()
 			rr.Explain = &tot
 		}
+		// Serving sweeps put their full offered-load grid and governor
+		// configuration into the manifest, so a serve table is auditable
+		// from its manifest alone.
+		rr.Serve = rec.ServeRecord(tab.Name)
 		if tracer != nil {
 			// Slice this experiment's rows out of the whole-sweep trace:
 			// straggler reports go to the manifest, the expvars, the

@@ -3,11 +3,33 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
+	"time"
 
 	"addrxlat/internal/parallel"
 	"addrxlat/internal/workload"
 )
+
+// WatchdogEnvVar is the environment variable WatchdogFromEnv reads the
+// stalled-worker timeout from (a Go duration string, e.g. "30s").
+const WatchdogEnvVar = "ADDRXLAT_WATCHDOG"
+
+// WatchdogFromEnv resolves the pipelined executor's stalled-worker
+// timeout from $ADDRXLAT_WATCHDOG. Unset, empty, unparsable, or
+// non-positive values disable the watchdog — off is the safe default,
+// and the one tests run under.
+func WatchdogFromEnv() time.Duration {
+	v := os.Getenv(WatchdogEnvVar)
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0
+	}
+	return d
+}
 
 // Scale shrinks the paper's machine dimensions by a power-of-two factor
 // while preserving the ratios that give each figure its shape (hot-set :
@@ -52,6 +74,25 @@ type Scale struct {
 	// byte-identical with it on or off (pinned by
 	// TestExplainByteIdentical).
 	Explain bool
+	// Blobs, when non-nil, caches opaque serialized results — today the
+	// serve sweep's per-(algorithm, load) points, keyed by the canonical
+	// serve cell key. Like Cache, a hit reproduces the same table because
+	// the key covers everything that determines the point; unlike Cache
+	// the payload is a JSON blob, not an mm.Costs. The serve sweep
+	// bypasses it entirely while a serve-burst fault rule is planned
+	// (that fault changes results by design).
+	Blobs BlobCache
+	// Watchdog, when > 0, arms a bounded-wait monitor over the pipelined
+	// row executor's workers: a simulator that spends longer than this
+	// inside a single chunk is declared stalled — its cell degrades to a
+	// footnoted error row, its ring references and worker slot are
+	// reclaimed, and the rest of the row keeps streaming instead of the
+	// sweep wedging. 0 (the default, and the default in tests) disables
+	// the monitor; CLIs arm it from $ADDRXLAT_WATCHDOG via
+	// WatchdogFromEnv. The monitor only observes wall time between chunk
+	// boundaries, so results are byte-identical with it armed as long as
+	// no stall fires.
+	Watchdog time.Duration
 	// Ctx, when non-nil, cancels the sweep cooperatively: row drivers
 	// check it at every chunk boundary and sweep workers stop dispatching
 	// new cells once it is done, so a SIGINT drains within one chunk of

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"addrxlat/internal/faultinject"
@@ -13,6 +15,41 @@ import (
 	"addrxlat/internal/workload"
 	"addrxlat/internal/xtrace"
 )
+
+// Watchdog states of one pipelined worker, in watchState.state.
+const (
+	wsIdle    = int32(0) // between chunks
+	wsServing = int32(1) // inside serveChunk
+	wsStalled = int32(2) // the monitor declared a stall and reclaimed the cell
+)
+
+// errStalled is the sentinel a worker returns after losing the
+// state CAS to the watchdog monitor: the monitor already recorded the
+// cell error, released the worker's ring references, freed its gate slot,
+// and signaled the collector — the worker must exit without touching any
+// of them again.
+var errStalled = errors.New("experiments: worker stalled; cell reclaimed by watchdog")
+
+// watchState is one worker's heartbeat, shared with the watchdog monitor.
+// The worker publishes cursor and beat, then flips state idle→serving
+// around each serveChunk; whichever side wins the serving→{idle,stalled}
+// CAS owns the post-chunk cleanup. crossed guards the phaseClock so a
+// worker and the monitor cannot both account the same warmup crossing.
+type watchState struct {
+	state   atomic.Int32
+	cursor  atomic.Int64
+	beat    atomic.Int64 // UnixNano of the current chunk's start
+	crossed atomic.Bool
+}
+
+// crossOnce accounts a worker's warmup→measured crossing on the phase
+// clock exactly once, whether the worker or the watchdog gets there
+// first. With no watchdog armed (ws nil) it is a plain cross.
+func crossOnce(ws *watchState, clock *phaseClock) {
+	if ws == nil || !ws.crossed.Swap(true) {
+		clock.cross()
+	}
+}
 
 // runRowPipelined is the barrier-free row executor: a generator goroutine
 // fills a bounded-lookahead ring of refcounted chunk buffers (segment 0
@@ -92,20 +129,27 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 	// the generator's lead chunks, and charging that ramp to wait-generation
 	// is what keeps busy+blocked ≈ row wall even on saturated machines.
 	spawnTS := tr.Now()
-	grp := parallel.NewGroup(len(sims))
-	for i := range sims {
-		i := i
-		grp.Go(i, func() error {
-			var werr error
-			// The pprof labels make CPU profiles attribute pipeline time
-			// per (row, algorithm) worker.
-			pprof.Do(ctx, pprof.Labels("addrxlat_row", row, "addrxlat_alg", names[i]), func(context.Context) {
-				werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i, spawnTS)
+	var grpErr error
+	if wd := s.Watchdog; wd > 0 {
+		grpErr = m.runWorkersWatched(s, wd, ring, gate, clock, sims, scratch, cellErrs, names, row, spawnTS)
+	} else {
+		// No watchdog (the default, and the path the byte-identity tests
+		// pin): plain structured join.
+		grp := parallel.NewGroup(len(sims))
+		for i := range sims {
+			i := i
+			grp.Go(i, func() error {
+				var werr error
+				// The pprof labels make CPU profiles attribute pipeline time
+				// per (row, algorithm) worker.
+				pprof.Do(ctx, pprof.Labels("addrxlat_row", row, "addrxlat_alg", names[i]), func(context.Context) {
+					werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i, spawnTS, nil)
+				})
+				return werr
 			})
-			return werr
-		})
+		}
+		grpErr = grp.Wait()
 	}
-	grpErr := grp.Wait()
 
 	if cerr := ctx.Err(); cerr != nil {
 		return fmt.Errorf("experiments: row %s canceled at a chunk boundary: %w", row, cerr)
@@ -129,11 +173,96 @@ func (m *fig1Machine) runRowPipelined(s Scale, gen workload.Generator, sims []mm
 	return nil
 }
 
+// runWorkersWatched is the watchdog variant of the worker join: every
+// worker heartbeats through a watchState, and a monitor goroutine
+// declares any worker that spends longer than wd inside one chunk
+// stalled — the cell degrades to a footnoted error row, the worker's gate
+// slot and ring references are reclaimed so the rest of the row keeps
+// streaming, and the collector is signaled on the worker's behalf (a
+// structured Group.Wait would wedge on the stuck goroutine, which is the
+// exact failure the watchdog exists to survive). The stuck goroutine
+// itself is not killed — Go cannot — but everything it owned is released
+// and its results are discarded.
+func (m *fig1Machine) runWorkersWatched(s Scale, wd time.Duration, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, sims []mm.Algorithm, scratch []*mm.Scratch, cellErrs []error, names []string, row string, spawnTS int64) error {
+	ctx := s.context()
+	tr := xtrace.Active()
+	wss := make([]*watchState, len(sims))
+	for i := range wss {
+		wss[i] = &watchState{}
+	}
+	// One token per worker, sent by the worker itself on a clean return or
+	// by the monitor when it declares the worker stalled — never both: the
+	// serving→{idle,stalled} CAS picks exactly one sender.
+	done := make(chan int, len(sims))
+	werrs := make([]error, len(sims))
+	for i := range sims {
+		i := i
+		go func() {
+			var werr error
+			pprof.Do(ctx, pprof.Labels("addrxlat_row", row, "addrxlat_alg", names[i]), func(context.Context) {
+				werr = m.simWorker(s, ring, gate, clock, sims[i], scratch[i], cellErrs, names, row, i, spawnTS, wss[i])
+			})
+			if errors.Is(werr, errStalled) {
+				return // the monitor already signaled for this slot
+			}
+			werrs[i] = werr
+			done <- i
+		}()
+	}
+
+	stopMon := make(chan struct{})
+	go func() {
+		tick := wd / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-t.C:
+			}
+			now := time.Now().UnixNano()
+			for i, ws := range wss {
+				if ws.state.Load() != wsServing || now-ws.beat.Load() <= int64(wd) {
+					continue
+				}
+				if !ws.state.CompareAndSwap(wsServing, wsStalled) {
+					continue // finished the chunk between the load and the CAS
+				}
+				cur := int(ws.cursor.Load())
+				cellErrs[i] = fmt.Errorf("experiments: cell %s|%s stalled: no progress within %v on chunk %d (watchdog)",
+					row, names[i], wd, cur)
+				tr.Instant(xtrace.InstantQuarantine,
+					xtrace.ArgStr("cell", row+"|"+names[i]), xtrace.ArgStr("reason", "stalled"))
+				gate.Leave()
+				ring.Release(cur)
+				ring.DetachFrom(cur + 1)
+				crossOnce(ws, clock)
+				done <- i
+			}
+		}
+	}()
+	for range sims {
+		<-done
+	}
+	close(stopMon)
+	for _, werr := range werrs {
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
 // simWorker drives one simulator over the whole row: every chunk of both
 // segments in order, resetting the sim's counters at the warmup→measured
-// edge. It returns nil for a poisoned cell (recorded in cellErrs[i]) and
-// an error only for cancellation.
-func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, a mm.Algorithm, sc *mm.Scratch, cellErrs []error, names []string, row string, i int, spawnTS int64) error {
+// edge. It returns nil for a poisoned cell (recorded in cellErrs[i]),
+// errStalled when the watchdog reclaimed the cell mid-chunk, and any
+// other error only for cancellation. ws is nil when no watchdog is armed.
+func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gate, clock *phaseClock, a mm.Algorithm, sc *mm.Scratch, cellErrs []error, names []string, row string, i int, spawnTS int64, ws *watchState) error {
 	ctx := s.context()
 	ep := s.explainProbe()
 	cur, seg := 0, 0
@@ -199,7 +328,7 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 			a.ResetCosts()
 			if inWarmup {
 				inWarmup = false
-				clock.cross()
+				crossOnce(ws, clock)
 			}
 		}
 		var admitStart int64
@@ -214,7 +343,20 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 		if th != nil {
 			chunkStart = th.Now()
 		}
-		cellErr := m.serveChunk(s, ep, a, sc, c.Data, row, pipePhase(seg), names[i])
+		if ws != nil {
+			// Heartbeat for the watchdog: cursor and beat first, then the
+			// idle→serving flip the monitor keys on.
+			ws.cursor.Store(int64(cur))
+			ws.beat.Store(time.Now().UnixNano())
+			ws.state.Store(wsServing)
+		}
+		cellErr := m.serveChunk(s, ep, a, sc, c.Data, row, pipePhase(seg), names[i], ws)
+		if ws != nil && !ws.state.CompareAndSwap(wsServing, wsIdle) {
+			// The monitor won the race: it already recorded the stall,
+			// released this worker's ring references and gate slot, and
+			// signaled the collector. Exit without touching any of them.
+			return errStalled
+		}
 		if th != nil {
 			th.Span(pipePhase(seg), xtrace.CatChunk, chunkStart,
 				xtrace.ArgInt("seq", int64(c.Seq)), xtrace.ArgInt("n", int64(len(c.Data))))
@@ -227,7 +369,7 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 			tr.Instant(xtrace.InstantQuarantine, xtrace.ArgStr("cell", row+"|"+names[i]))
 			ring.DetachFrom(cur)
 			if inWarmup {
-				clock.cross()
+				crossOnce(ws, clock)
 			}
 			return nil
 		}
@@ -236,7 +378,7 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 		// The measured window was empty (no segment-1 chunks): the
 		// methodology still resets after warmup.
 		a.ResetCosts()
-		clock.cross()
+		crossOnce(ws, clock)
 	}
 	return nil
 }
@@ -246,7 +388,7 @@ func (m *fig1Machine) simWorker(s Scale, ring *workload.Ring, gate *parallel.Gat
 // and fault-injection points at the identical chunk boundaries. A panic
 // (algorithm bug or injected cell fault) is recovered into the returned
 // error.
-func (m *fig1Machine) serveChunk(s Scale, ep ExplainProbe, a mm.Algorithm, sc *mm.Scratch, chunk []uint64, row, phase, name string) (err error) {
+func (m *fig1Machine) serveChunk(s Scale, ep ExplainProbe, a mm.Algorithm, sc *mm.Scratch, chunk []uint64, row, phase, name string, ws *watchState) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("experiments: cell %s|%s panicked: %v", row, name, r)
@@ -256,6 +398,23 @@ func (m *fig1Machine) serveChunk(s Scale, ep ExplainProbe, a mm.Algorithm, sc *m
 		xtrace.Active().Instant(xtrace.InstantFault,
 			xtrace.ArgStr("point", faultinject.CellPanic), xtrace.ArgStr("cell", row+"|"+name))
 		panic("injected cell fault")
+	}
+	if faultinject.Armed() && faultinject.Fire(faultinject.SimStall, row+"|"+name) {
+		// Wedge this worker mid-chunk for the configured stall — the drill
+		// the watchdog satellite exists for. The sleep polls the watch
+		// state so a reclaimed worker abandons the chunk without touching
+		// its (possibly recycled) buffer; with no watchdog armed the stall
+		// simply elapses and the chunk is then served normally, so results
+		// are unchanged — only slower.
+		xtrace.Active().Instant(xtrace.InstantFault,
+			xtrace.ArgStr("point", faultinject.SimStall), xtrace.ArgStr("cell", row+"|"+name))
+		deadline := time.Now().Add(faultinject.StallDuration())
+		for time.Now().Before(deadline) {
+			if ws != nil && ws.state.Load() == wsStalled {
+				return nil // the watchdog reclaimed this cell; the caller's CAS sees wsStalled
+			}
+			time.Sleep(time.Millisecond)
+		}
 	}
 	accessAll(a, chunk, sc)
 	if s.Probe != nil {

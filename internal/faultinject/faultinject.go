@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The fault points the sweep stack exposes.
@@ -53,6 +54,19 @@ const (
 	// TraceCorrupt flips a byte of a trace stream as it is encoded; the
 	// key is empty. Proves the replay CRC rejects silent corruption.
 	TraceCorrupt = "trace-corrupt"
+	// ServeBurst injects an arrival burst into the discrete-event serving
+	// loop: from the firing arrival on, a run of back-to-back requests
+	// lands at 1 ns spacing. The key is the serve cell key
+	// ("table|alg|load"). Proves the admission/shedding path absorbs a
+	// spike without unbounded queue growth. Note this fault changes
+	// results by design, so the serve sweep refuses to read or write its
+	// result cache while a serve-burst rule is planned.
+	ServeBurst = "serve-burst"
+	// SimStall wedges one simulator worker inside a streaming row for
+	// StallDuration (default 2s); the key is "row|simname". Proves the
+	// ADDRXLAT_WATCHDOG monitor converts a hung worker into a footnoted
+	// error row instead of a wedged sweep.
+	SimStall = "sim-stall"
 )
 
 // EnvVar is the environment variable ArmFromEnv reads the plan from.
@@ -110,7 +124,7 @@ func Arm(spec string) error {
 			r.point = part
 		}
 		switch r.point {
-		case CellPanic, SweepKill, CacheTruncate, TraceCorrupt:
+		case CellPanic, SweepKill, CacheTruncate, TraceCorrupt, ServeBurst, SimStall:
 		default:
 			return fmt.Errorf("faultinject: unknown fault point %q", r.point)
 		}
@@ -148,6 +162,42 @@ func Disarm() {
 	plan = ""
 	mu.Unlock()
 }
+
+// Planned reports whether the armed plan contains any rule for point,
+// regardless of match strings or hit budgets. Result-changing faults
+// (serve-burst) use it to disable result caching for the whole run: a
+// rule that has not fired yet could still fire, so any cell computed or
+// read while the rule is planned is suspect.
+func Planned(point string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range rules {
+		if r.point == point {
+			return true
+		}
+	}
+	return false
+}
+
+// stallNs is the sim-stall wedge duration in nanoseconds (atomic so smoke
+// tests can shrink it without racing the worker that sleeps on it).
+var stallNs atomic.Int64
+
+// StallDuration returns how long a fired sim-stall wedges its worker
+// (default 2s).
+func StallDuration() time.Duration {
+	if d := stallNs.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return 2 * time.Second
+}
+
+// SetStallDuration overrides the sim-stall wedge duration; d <= 0 restores
+// the default. Tests use it to keep watchdog drills fast.
+func SetStallDuration(d time.Duration) { stallNs.Store(int64(d)) }
 
 // Fire reports whether a fault armed at point should trigger for key.
 // Callers must guard with Armed() first; Fire itself is concurrency-safe

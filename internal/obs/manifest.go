@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"addrxlat/internal/serve"
 	"addrxlat/internal/xtrace"
 )
 
@@ -56,6 +57,12 @@ type RunRecord struct {
 	// numbers are wall-clock measurements: useful for diagnosis,
 	// reproducible in shape but not in value.
 	Timeline []xtrace.RowReport `json:"timeline,omitempty"`
+	// Serve holds the serving sweep's full record — offered-load grid,
+	// admission and governor configuration, and every point's serve-counter
+	// taxonomy — when the experiment is one of the serving tables. The
+	// offered loads and governor knobs in here are what makes a serve table
+	// auditable and reproducible from its manifest alone.
+	Serve *serve.SweepRecord `json:"serve,omitempty"`
 }
 
 // Manifest records everything needed to reproduce and audit one CLI

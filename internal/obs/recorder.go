@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"addrxlat/internal/mm"
+	"addrxlat/internal/serve"
 	"addrxlat/internal/xtrace"
 )
 
@@ -53,6 +54,7 @@ type Recorder struct {
 	phases    []PhaseRecord
 	explains  map[seriesKey]*ExplainSeries
 	timelines []xtrace.RowReport
+	serves    []serve.SweepRecord
 }
 
 // NewRecorder returns a Recorder that records a curve point whenever a

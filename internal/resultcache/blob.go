@@ -1,0 +1,60 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"os"
+)
+
+// blobEntry is the on-disk format for opaque result blobs (e.g. serve
+// sweep points, which carry a whole Counters taxonomy and latency
+// quantiles rather than an mm.Costs). The same discipline as cell
+// entries: self-describing key, CRC-32C over key+payload verified on
+// load, quarantine on any mismatch. Blob keys live in their own "blob|"
+// namespace on disk so a blob and a cell under the same canonical key
+// never collide.
+type blobEntry struct {
+	Key  string `json:"key"`
+	Blob []byte `json:"blob"` // opaque payload (base64 in the JSON encoding)
+	CRC  uint32 `json:"crc"`
+}
+
+func (e blobEntry) sum() uint32 {
+	s := append(append([]byte(e.Key), '|'), e.Blob...)
+	return crc32.Checksum(s, crcTable)
+}
+
+// GetBlob looks up an opaque blob by canonical key. Unreadable files are
+// misses; unparsable, mismatched, or checksum-failing entries are
+// quarantined misses, exactly like Get.
+func (c *Cache) GetBlob(key string) ([]byte, bool) {
+	path := c.path("blob|" + key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e blobEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.CRC != e.sum() {
+		c.quarantine(path)
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Blob, true
+}
+
+// PutBlob stores an opaque blob under the canonical key, atomically
+// (temp file + rename); failures are silently dropped, matching Put. The
+// cache-truncate fault point applies, so blob corruption quarantine is
+// drillable with the same plan syntax as cell entries.
+func (c *Cache) PutBlob(key string, blob []byte) {
+	e := blobEntry{Key: key, Blob: blob}
+	e.CRC = e.sum()
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	c.writeEntry("blob|"+key, key, data)
+}

@@ -1,0 +1,77 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"addrxlat/internal/faultinject"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetBlob("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutBlob("k1", []byte(`{"p50":123}`))
+	got, ok := c.GetBlob("k1")
+	if !ok || string(got) != `{"p50":123}` {
+		t.Fatalf("round trip: got %q, ok=%v", got, ok)
+	}
+	// Blob and cell namespaces must not collide on the same key.
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("blob entry served as a cell entry")
+	}
+}
+
+func TestBlobCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutBlob("k", []byte("payload"))
+	// Flip a byte in the stored entry.
+	p := c.path("blob|k")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetBlob("k"); ok {
+		t.Fatal("corrupt blob served")
+	}
+	q, err := filepath.Glob(filepath.Join(dir, QuarantineDir, "*"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine holds %d files (err %v), want 1", len(q), err)
+	}
+	_, _, corrupt := c.Stats()
+	if corrupt != 1 {
+		t.Fatalf("corrupt count %d, want 1", corrupt)
+	}
+}
+
+func TestBlobTruncateFault(t *testing.T) {
+	if err := faultinject.Arm("cache-truncate=kblob@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutBlob("kblob", []byte("some longer payload so truncation breaks the JSON"))
+	if _, ok := c.GetBlob("kblob"); ok {
+		t.Fatal("truncated blob served")
+	}
+	_, _, corrupt := c.Stats()
+	if corrupt != 1 {
+		t.Fatalf("corrupt count %d, want 1", corrupt)
+	}
+}

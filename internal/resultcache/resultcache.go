@@ -149,12 +149,19 @@ func (c *Cache) Put(key string, costs mm.Costs) {
 	if err != nil {
 		return
 	}
-	if faultinject.Armed() && faultinject.Fire(faultinject.CacheTruncate, key) {
-		// Simulate a torn write (crash mid-write, full disk): the entry
-		// lands truncated and must be quarantined on the next read.
+	c.writeEntry(key, key, data)
+}
+
+// writeEntry lands an encoded entry atomically under the content address
+// of pathKey. faultKey is the key the cache-truncate fault point matches
+// against — a fired fault simulates a torn write (crash mid-write, full
+// disk): the entry lands truncated and must be quarantined on the next
+// read.
+func (c *Cache) writeEntry(pathKey, faultKey string, data []byte) {
+	if faultinject.Armed() && faultinject.Fire(faultinject.CacheTruncate, faultKey) {
 		data = data[:len(data)/2]
 	}
-	dst := c.path(key)
+	dst := c.path(pathKey)
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		return

@@ -1,0 +1,59 @@
+package serve
+
+// Point is one (algorithm, offered-load) cell of a serve sweep, in the
+// JSON shape shared by the blob result cache and the run manifest. The
+// floats it carries are computed from virtual-time integers, so the
+// encoded form is byte-stable across runs, hosts, and worker counts.
+type Point struct {
+	Alg           string   `json:"alg"`
+	Load          float64  `json:"load"` // offered load as a multiple of calibrated capacity
+	MeanServiceNs int64    `json:"mean_service_ns"`
+	HorizonNs     int64    `json:"horizon_ns"`
+	GoodputPerSec float64  `json:"goodput_per_sec"`
+	P50Ns         int64    `json:"p50_ns"`
+	P99Ns         int64    `json:"p99_ns"`
+	P999Ns        int64    `json:"p999_ns"`
+	MaxQueueDepth int      `json:"max_queue_depth"`
+	MaxHeapLen    int      `json:"max_heap_len"`
+	Counters      Counters `json:"counters"`
+}
+
+// PointFrom projects a run result into a Point.
+func PointFrom(alg string, load float64, r Result) Point {
+	return Point{
+		Alg:           alg,
+		Load:          load,
+		MeanServiceNs: r.MeanServiceNs,
+		HorizonNs:     r.HorizonNs,
+		GoodputPerSec: r.GoodputPerSec(),
+		P50Ns:         r.Latency.Quantile(0.50),
+		P99Ns:         r.Latency.Quantile(0.99),
+		P999Ns:        r.Latency.Quantile(0.999),
+		MaxQueueDepth: r.MaxQueueDepth,
+		MaxHeapLen:    r.MaxHeapLen,
+		Counters:      r.Counters,
+	}
+}
+
+// SweepRecord is the manifest record of one serve experiment: the full
+// offered-load grid, governor and admission configuration, and every
+// computed point — enough to audit or regenerate the tables without
+// re-running the sweep.
+type SweepRecord struct {
+	Table       string         `json:"table"`
+	Workload    string         `json:"workload"`
+	Arrivals    string         `json:"arrivals"` // arrival-process family, e.g. "poisson"
+	Loads       []float64      `json:"loads"`    // offered-load grid (× capacity)
+	Requests    int            `json:"requests"`
+	Warmup      int            `json:"warmup_requests"`
+	BlockPages  int            `json:"block_pages"`
+	QueueCap    int            `json:"queue_cap"`
+	RefillNs    int64          `json:"refill_ns,omitempty"`
+	Burst       int64          `json:"burst,omitempty"`
+	DeadlineNs  int64          `json:"deadline_ns"`
+	MaxAttempts int            `json:"max_attempts"`
+	RetryBaseNs int64          `json:"retry_base_ns"`
+	Cost        CostModel      `json:"cost_model"`
+	Governor    GovernorConfig `json:"governor"`
+	Points      []Point        `json:"points"`
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"addrxlat/internal/hashutil"
+)
+
+// ArrivalProcess yields request inter-arrival gaps for the open-loop
+// serving layer (internal/serve). Time is virtual integer nanoseconds —
+// no wall clocks anywhere — so a seeded process replays the identical
+// arrival timeline on every run, which is what lets the serve tables pin
+// byte-identical across worker counts and hosts.
+type ArrivalProcess interface {
+	// NextDelayNs returns the gap to the next arrival, always >= 1 ns.
+	NextDelayNs() int64
+	// Name identifies the process (seed and rate included), for manifests.
+	Name() string
+}
+
+// expDelay draws an exponential inter-arrival gap with the given mean,
+// floored at 1 ns so virtual time always advances.
+func expDelay(rng *hashutil.RNG, meanNs float64) int64 {
+	// Float64 is in [0, 1); 1-u is in (0, 1], keeping Log finite.
+	d := int64(meanNs * -math.Log(1-rng.Float64()))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Poisson is a memoryless arrival process: exponential gaps with mean
+// meanNs, i.e. rate 1/meanNs arrivals per virtual nanosecond.
+type Poisson struct {
+	rng    *hashutil.RNG
+	meanNs float64
+	seed   uint64
+}
+
+// NewPoisson returns a Poisson process with mean inter-arrival meanNs.
+func NewPoisson(seed uint64, meanNs float64) *Poisson {
+	if meanNs <= 0 {
+		panic("workload: Poisson requires meanNs > 0")
+	}
+	return &Poisson{rng: hashutil.NewRNG(seed), meanNs: meanNs, seed: seed}
+}
+
+func (p *Poisson) NextDelayNs() int64 { return expDelay(p.rng, p.meanNs) }
+
+func (p *Poisson) Name() string {
+	return fmt.Sprintf("poisson(mean=%gns,seed=%d)", p.meanNs, p.seed)
+}
+
+// OnOffBurst alternates a Poisson "on" phase (mean gap meanOnNs for onNs
+// of virtual time) with a silent "off" phase of offNs — the classic
+// bursty on/off source. The long-run offered rate is
+// onNs / (onNs+offNs) / meanOnNs, so for the same average load as a
+// Poisson source the on-phase pressure is (onNs+offNs)/onNs times higher.
+type OnOffBurst struct {
+	rng      *hashutil.RNG
+	meanOnNs float64
+	onNs     int64
+	offNs    int64
+	phasePos int64 // virtual time consumed inside the current on phase
+	seed     uint64
+}
+
+// NewOnOffBurst returns an on/off source: Poisson gaps with mean meanOnNs
+// while on, phases of onNs on / offNs off.
+func NewOnOffBurst(seed uint64, meanOnNs float64, onNs, offNs int64) *OnOffBurst {
+	if meanOnNs <= 0 || onNs <= 0 || offNs < 0 {
+		panic("workload: OnOffBurst requires meanOnNs > 0, onNs > 0, offNs >= 0")
+	}
+	return &OnOffBurst{rng: hashutil.NewRNG(seed), meanOnNs: meanOnNs, onNs: onNs, offNs: offNs, seed: seed}
+}
+
+func (b *OnOffBurst) NextDelayNs() int64 {
+	d := expDelay(b.rng, b.meanOnNs)
+	b.phasePos += d
+	if b.phasePos >= b.onNs {
+		// The gap that crosses the phase edge absorbs the whole off phase.
+		b.phasePos = 0
+		d += b.offNs
+	}
+	return d
+}
+
+func (b *OnOffBurst) Name() string {
+	return fmt.Sprintf("onoff(meanOn=%gns,on=%dns,off=%dns,seed=%d)", b.meanOnNs, b.onNs, b.offNs, b.seed)
+}
+
+// Diurnal modulates a Poisson source with a sum of sinusoids — the
+// multi-period "time of day × day of week" shape of real serving traffic,
+// compressed to virtual time. The instantaneous rate at virtual time t is
+//
+//	rate(t) = (1/meanNs) · max(0.1, 1 + Σ_i amps[i]·sin(2π t/periods[i]))
+//
+// so amps sum < 1 keeps the source always-on while still sweeping through
+// troughs and peaks; the long-run average rate stays ≈ 1/meanNs.
+type Diurnal struct {
+	rng     *hashutil.RNG
+	meanNs  float64
+	periods []int64
+	amps    []float64
+	now     int64 // process-local virtual clock
+	seed    uint64
+}
+
+// NewDiurnal returns a diurnal source with base mean gap meanNs and one
+// sinusoid per (periods[i], amps[i]) pair.
+func NewDiurnal(seed uint64, meanNs float64, periods []int64, amps []float64) *Diurnal {
+	if meanNs <= 0 || len(periods) == 0 || len(periods) != len(amps) {
+		panic("workload: Diurnal requires meanNs > 0 and len(periods) == len(amps) > 0")
+	}
+	for _, p := range periods {
+		if p <= 0 {
+			panic("workload: Diurnal periods must be > 0")
+		}
+	}
+	return &Diurnal{rng: hashutil.NewRNG(seed), meanNs: meanNs, periods: append([]int64(nil), periods...), amps: append([]float64(nil), amps...), seed: seed}
+}
+
+func (d *Diurnal) NextDelayNs() int64 {
+	rel := 1.0
+	for i, p := range d.periods {
+		rel += d.amps[i] * math.Sin(2*math.Pi*float64(d.now%p)/float64(p))
+	}
+	if rel < 0.1 {
+		rel = 0.1
+	}
+	gap := expDelay(d.rng, d.meanNs/rel)
+	d.now += gap
+	return gap
+}
+
+func (d *Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(mean=%gns,periods=%v,amps=%v,seed=%d)", d.meanNs, d.periods, d.amps, d.seed)
+}

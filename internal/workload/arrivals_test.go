@@ -1,0 +1,62 @@
+package workload
+
+import "testing"
+
+// drain sums n gaps from p, returning total virtual time and count.
+func drain(p ArrivalProcess, n int) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		d := p.NextDelayNs()
+		if d < 1 {
+			panic("gap < 1ns")
+		}
+		total += d
+	}
+	return total
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	mk := map[string]func() ArrivalProcess{
+		"poisson": func() ArrivalProcess { return NewPoisson(7, 1000) },
+		"onoff":   func() ArrivalProcess { return NewOnOffBurst(7, 250, 50_000, 150_000) },
+		"diurnal": func() ArrivalProcess { return NewDiurnal(7, 1000, []int64{1_000_000, 7_000_000}, []float64{0.5, 0.25}) },
+	}
+	for name, f := range mk {
+		a, b := f(), f()
+		for i := 0; i < 10_000; i++ {
+			if ga, gb := a.NextDelayNs(), b.NextDelayNs(); ga != gb {
+				t.Fatalf("%s: gap %d diverged: %d vs %d", name, i, ga, gb)
+			}
+		}
+	}
+}
+
+func TestArrivalsMeanRate(t *testing.T) {
+	const n = 200_000
+	// Poisson: observed mean gap within 5% of the configured 1000 ns.
+	if total := drain(NewPoisson(1, 1000), n); total < 950*n || total > 1050*n {
+		t.Errorf("poisson mean gap %.1f ns, want ~1000", float64(total)/n)
+	}
+	// OnOff with mean 250 on-gap, 25%% duty cycle: long-run mean gap ~1000.
+	if total := drain(NewOnOffBurst(1, 250, 50_000, 150_000), n); total < 900*n || total > 1100*n {
+		t.Errorf("onoff mean gap %.1f ns, want ~1000", float64(total)/n)
+	}
+	// Diurnal with zero-mean sinusoids: long-run mean gap near 1000. The
+	// rate floor and 1/rate convexity bias the mean slightly; allow 15%.
+	if total := drain(NewDiurnal(1, 1000, []int64{1_000_000, 7_000_000}, []float64{0.5, 0.25}), n); total < 850*n || total > 1150*n {
+		t.Errorf("diurnal mean gap %.1f ns, want ~1000", float64(total)/n)
+	}
+}
+
+func TestOnOffBurstHasGaps(t *testing.T) {
+	b := NewOnOffBurst(3, 100, 10_000, 90_000)
+	var long int
+	for i := 0; i < 10_000; i++ {
+		if b.NextDelayNs() >= 90_000 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no off-phase gaps observed")
+	}
+}

@@ -75,6 +75,8 @@ type Ring struct {
 	inFlight  int
 	stopped   bool
 	stats     RingStats
+
+	producerDone chan struct{} // closed when the producer goroutine exits
 }
 
 // RingOption configures NewRing.
@@ -140,7 +142,11 @@ func NewRing(g Generator, chunkSize int, segments []int, depth, consumers int, o
 	for i := range r.meta {
 		r.meta[i].Seq = -1
 	}
-	go r.produce(g, segments)
+	r.producerDone = make(chan struct{})
+	go func() {
+		defer close(r.producerDone)
+		r.produce(g, segments)
+	}()
 	return r, nil
 }
 
@@ -280,6 +286,13 @@ func (r *Ring) DetachFrom(seq int) {
 // further chunks and every pending or future Get returns ok=false. Safe
 // to call at any time, from any goroutine, more than once. Consumers
 // holding chunks need not release them after Stop.
+//
+// Stop blocks until the producer goroutine has exited (at most one
+// chunk-generation time away). That join is what makes trace export
+// safe: the producer emits trailing wait spans and counter samples into
+// its timeline after its last publish, so a Tracer must not be read
+// until Stop has returned. Every executor path Stops its ring (or
+// Source) before exporting.
 func (r *Ring) Stop() {
 	r.mu.Lock()
 	if !r.stopped {
@@ -288,6 +301,7 @@ func (r *Ring) Stop() {
 		r.canWrite.Broadcast()
 	}
 	r.mu.Unlock()
+	<-r.producerDone
 }
 
 // Stats reports the stream's pipeline counters. Call after the stream is
