@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-diff race vet fuzz-smoke trace-smoke serve-smoke
+.PHONY: all build test check bench bench-diff race vet fuzz-smoke trace-smoke serve-smoke serve-metrics-smoke
 
 all: build
 
@@ -50,7 +50,7 @@ BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_COUNT ?= 3
 bench-diff:
 	@mkdir -p results
-	$(GO) test -run=^$$ -bench='Access(Batch)?(HugePage|Decoupled|THP|Superpage)|Fig1aBimodal|RowPipeline' -benchtime=1s -count=$(BENCH_COUNT) . > results/bench-raw.txt
+	$(GO) test -run=^$$ -bench='Access(Batch)?(HugePage|Decoupled|THP|Superpage)|Fig1aBimodal|RowPipeline|ServeStep' -benchtime=1s -count=$(BENCH_COUNT) . > results/bench-raw.txt
 	$(GO) test -run=^$$ -bench='ReplayStream|ReplayMaterialized' -benchtime=1s -count=$(BENCH_COUNT) ./internal/workload/ >> results/bench-raw.txt
 	$(GO) test -run=^$$ -bench='TraceDecode' -benchtime=1s -count=$(BENCH_COUNT) ./internal/trace/ >> results/bench-raw.txt
 	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -out results/bench-diff.txt < results/bench-raw.txt
@@ -98,6 +98,31 @@ serve-smoke:
 		grep -q '"governor"' results/serve-smoke/manifest-*.json || \
 		{ echo "serve-smoke: manifest is missing the serve record" >&2; exit 1; }
 
+# serve-metrics-smoke runs the serving-telemetry drill: the sv3
+# SLO-curve sweep (per-cell window collectors always armed) with the
+# execution tracer on, then validates the exported trace — including the
+# serve request-lifecycle schema (queued/attempt/backoff spans nested in
+# their request span, governor trip/clear instants alternating) — with
+# cmd/tracelint, and sanity-checks every telemetry surface: all 20 grid
+# rows present in sv-slo.tsv with the verdict columns, a non-empty
+# per-window dump in sv-slo.serve.metrics.tsv, and the metrics policy
+# (window/budget multiples, exemplar K) recorded in the manifest.
+# Artifacts land in results/serve-metrics-smoke/ and are uploaded by CI.
+serve-metrics-smoke:
+	@rm -rf results/serve-metrics-smoke && mkdir -p results/serve-metrics-smoke
+	$(GO) run ./cmd/figures -fig sv3 -seed 7 -out results/serve-metrics-smoke \
+		-manifest results/serve-metrics-smoke -cache results/serve-metrics-smoke/cache \
+		-trace results/serve-metrics-smoke/figures.trace.json -progress=false
+	$(GO) run ./cmd/tracelint results/serve-metrics-smoke/figures.trace.json
+	@test "$$(grep -c '^[0-9]' results/serve-metrics-smoke/sv-slo.tsv)" -eq 20 || \
+		{ echo "serve-metrics-smoke: sv-slo.tsv is missing grid rows" >&2; exit 1; }
+	@grep -q 'max_sustainable_load' results/serve-metrics-smoke/sv-slo.tsv || \
+		{ echo "serve-metrics-smoke: sv-slo.tsv lacks the SLO verdict columns" >&2; exit 1; }
+	@test "$$(grep -c '^[a-z]' results/serve-metrics-smoke/sv-slo.serve.metrics.tsv)" -ge 20 || \
+		{ echo "serve-metrics-smoke: per-window dump is empty or truncated" >&2; exit 1; }
+	@grep -q '"metrics_window_mul"' results/serve-metrics-smoke/manifest-*.json || \
+		{ echo "serve-metrics-smoke: manifest lacks the metrics policy" >&2; exit 1; }
+
 # check is the pre-commit gate: vet, full tests, race-detector pass over the
 # concurrent packages, a 1-iteration benchmark smoke covering the scalar
 # AND staged-batch Access kernels so the benchmark harness itself can't
@@ -105,9 +130,10 @@ serve-smoke:
 # producer goroutines + per-chunk fan-out) and one staged-batch kernel
 # (scratch reuse across chunks), and a race-mode smoke of the pipelined
 # row executor (Workers=4, lookahead=2: ring publish/release, gate,
-# probe delivery, phase clock), and the serving-layer overload +
-# serve-burst drill (serve-smoke).
-check: vet test race serve-smoke
+# probe delivery, phase clock), the serving-layer overload +
+# serve-burst drill (serve-smoke), and the serving-telemetry drill
+# (serve-metrics-smoke).
+check: vet test race serve-smoke serve-metrics-smoke
 	$(GO) test -bench='BenchmarkAccess(Batch)?(HugePage|Decoupled|THP|Superpage)' -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkFig1aBimodal -benchtime=1x -run=^$$ .
 	$(GO) test -race -bench=BenchmarkAccessBatchDecoupled -benchtime=1x -run=^$$ .

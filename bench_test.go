@@ -14,8 +14,10 @@ import (
 	"addrxlat/internal/core"
 	"addrxlat/internal/experiments"
 	"addrxlat/internal/graph500"
+	"addrxlat/internal/metrics"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/policy"
+	"addrxlat/internal/serve"
 	"addrxlat/internal/workload"
 )
 
@@ -501,5 +503,66 @@ func BenchmarkOptBelady(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		policy.OptMisses(reqs, 1<<10)
+	}
+}
+
+// benchServeSim builds an overloaded serving run (2.5× capacity, governor
+// armed) over a huge-page simulator, optionally with the virtual-time
+// metrics collector attached. Requests is sized so one build outlasts a
+// full -benchtime=1s measurement.
+func benchServeSim(b *testing.B, seed uint64, armed bool) *serve.Sim {
+	b.Helper()
+	alg, err := mm.NewHugePage(mm.HugePageConfig{HugePageSize: 1, TLBEntries: 64, RAMPages: 1 << 12, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewUniform(1<<14, seed+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := serve.New(serve.Config{
+		Seed:        seed,
+		Requests:    1_000_000,
+		BlockPages:  64,
+		QueueCap:    128,
+		MaxAttempts: 3,
+		RetryBaseNs: 1000,
+		Governor:    serve.GovernorConfig{WindowNs: 1, QueueHigh: 96, MissNum: 1, MissDen: 5, RecoverDepth: 24, DegradedDiv: 4},
+	}, alg, gen, &mm.Scratch{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mean := sim.Calibrate(1000)
+	sim.SetDeadlineNs(150 * mean)
+	sim.SetGovernorWindowNs(30 * mean)
+	sim.SetArrivals(workload.NewPoisson(seed+2, float64(mean)/2.5))
+	if armed {
+		sim.ArmMetrics(metrics.Config{WidthNs: 64 * mean, BudgetNs: 40 * mean, Exemplars: 5})
+	}
+	return sim
+}
+
+// BenchmarkServeStep measures the serving event loop's per-event cost,
+// disarmed and with the metrics collector armed — the armed column is
+// the observability tax on the hot path and must stay allocation-free
+// (guarded by make bench-diff alongside the access-path benchmarks).
+func BenchmarkServeStep(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "disarmed"
+		if armed {
+			name = "armed"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			sim := benchServeSim(b, 1, armed)
+			b.ResetTimer()
+			for steps := 0; steps < b.N; steps++ {
+				if !sim.Step() {
+					b.StopTimer()
+					sim = benchServeSim(b, uint64(steps)+2, armed)
+					b.StartTimer()
+				}
+			}
+		})
 	}
 }

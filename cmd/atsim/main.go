@@ -26,6 +26,7 @@ import (
 	"addrxlat/internal/core"
 	"addrxlat/internal/faultinject"
 	"addrxlat/internal/graph500"
+	"addrxlat/internal/metrics"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/obs"
 	"addrxlat/internal/policy"
@@ -107,6 +108,7 @@ func main() {
 		serveArrivals = flag.String("serve-arrivals", "poisson", "arrival process: poisson|burst|diurnal")
 		serveQueue    = flag.Int("serve-queue", 256, "admission queue capacity")
 		serveAttempts = flag.Int("serve-attempts", 3, "total service attempts for requests hitting decoupling failure IOs")
+		serveMetrics  = flag.Bool("serve-metrics", false, "arm the virtual-time window collector on the serving run: print the per-window summary and slowest-request exemplars, record windows/SLO/exemplars in the manifest, and (with -manifest) write atsim-serve.serve.metrics.tsv next to it")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -160,9 +162,18 @@ func main() {
 			load: *serveLoad, requests: *serveReq, warmup: *serveWarm,
 			blockPages: *serveBlock, deadlineMul: *serveDeadline,
 			arrivals: *serveArrivals, queueCap: *serveQueue, attempts: *serveAttempts,
+			metrics: *serveMetrics,
 		})
 		if err != nil {
 			fail(err)
+		}
+		if rr.Serve != nil && rr.Serve.HasMetrics() && *maniDir != "" {
+			path := filepath.Join(*maniDir, "atsim-serve.serve.metrics.tsv")
+			if err := writeServeMetricsTSV(path, rr.Serve); err != nil {
+				fmt.Fprintf(os.Stderr, "atsim: serve metrics: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "atsim: wrote serve metrics windows to %s\n", path)
+			}
 		}
 		man.Experiments = []obs.RunRecord{rr}
 		flushTrace()
@@ -701,7 +712,17 @@ type serveModeConfig struct {
 	arrivals    string
 	queueCap    int
 	attempts    int
+	metrics     bool
 }
+
+// Metrics policy of -serve-metrics, mirroring the sv3 sweep: windows of
+// 64× the calibrated mean service time, a 40×mean p99 budget, and 5
+// slowest-request exemplars.
+const (
+	serveMetricsWindowMul = 64
+	serveSLOBudgetMul     = 40
+	serveExemplarK        = 5
+)
 
 // runServeMode drives the discrete-event serving front-end (DESIGN.md
 // §13) over one algorithm: calibrate capacity closed-loop, scale the
@@ -752,11 +773,19 @@ func runServeMode(alg mm.Algorithm, gen workload.Generator, cfg serveModeConfig)
 		return obs.RunRecord{}, fmt.Errorf("unknown -serve-arrivals %q (want poisson|burst|diurnal)", cfg.arrivals)
 	}
 	sim.SetArrivals(arr)
+	if cfg.metrics {
+		sim.ArmMetrics(metrics.Config{
+			WidthNs:   serveMetricsWindowMul * mean,
+			BudgetNs:  serveSLOBudgetMul * mean,
+			Exemplars: serveExemplarK,
+		})
+	}
 	res := sim.Run()
 	elapsed := time.Since(start)
 	if err := res.Counters.CheckIdentity(); err != nil {
 		return obs.RunRecord{}, err
 	}
+	sim.TraceInto(xtrace.Active(), fmt.Sprintf("atsim %s|load=%g", alg.Name(), cfg.load))
 
 	c := res.Counters
 	fmt.Printf("algorithm: %s\n", alg.Name())
@@ -774,6 +803,9 @@ func runServeMode(alg mm.Algorithm, gen workload.Generator, cfg serveModeConfig)
 		res.GoodputPerSec(), float64(res.HorizonNs)/1e9)
 	fmt.Printf("latency:   p50 %d ns, p99 %d ns, p999 %d ns (completed requests; max queue depth %d)\n",
 		res.Latency.Quantile(0.50), res.Latency.Quantile(0.99), res.Latency.Quantile(0.999), res.MaxQueueDepth)
+	if m := res.Metrics; m != nil {
+		printServeMetrics(m)
+	}
 
 	pt := serve.PointFrom(alg.Name(), cfg.load, res)
 	rec := serve.SweepRecord{
@@ -799,8 +831,57 @@ func runServeMode(alg mm.Algorithm, gen workload.Generator, cfg serveModeConfig)
 		},
 		Points: []serve.Point{pt},
 	}
+	if cfg.metrics {
+		rec.MetricsWindowMul = serveMetricsWindowMul
+		rec.SLOBudgetMul = serveSLOBudgetMul
+		rec.ExemplarK = serveExemplarK
+	}
 	return obs.RunRecord{
 		ID: "serve", Table: "atsim-serve", Rows: 1,
 		WallSeconds: elapsed.Seconds(), Serve: &rec,
 	}, nil
+}
+
+// printServeMetrics renders the windowed telemetry stream of a
+// -serve-metrics run: one line per virtual-time window, the SLO verdict,
+// and the slowest-request exemplars with their causal latency split.
+func printServeMetrics(m *metrics.Record) {
+	fmt.Printf("windows:   %d of %d ns; SLO p99 <= %d ns: %d violation(s), burn rate %.1f%%, longest streak %d\n",
+		len(m.Windows), m.WidthNs, m.SLO.BudgetNs, m.SLO.Violations, m.SLO.BurnRatePct(), m.SLO.MaxStreak)
+	fmt.Printf("  %6s %14s %9s %9s %7s %7s %9s %7s %6s %12s %12s %s\n",
+		"win", "start_ns", "admitted", "completed", "shed", "t_out", "retries", "queue", "tokens", "p50_ns", "p99_ns", "flags")
+	for i := range m.Windows {
+		w := &m.Windows[i]
+		flags := ""
+		if w.Degraded {
+			flags += "D"
+		}
+		if w.Violation {
+			flags += "V"
+		}
+		fmt.Printf("  %6d %14d %9d %9d %7d %7d %9d %7d %6d %12d %12d %s\n",
+			w.Index, w.StartNs, w.Admitted, w.Completed, w.Shed, w.TimedOut,
+			w.Retries, w.QueueDepth, w.Tokens, w.P50Ns, w.P99Ns, flags)
+	}
+	if len(m.Exemplars) > 0 {
+		fmt.Printf("slowest:   %d exemplar(s) — where the tail latency went\n", len(m.Exemplars))
+		for _, ex := range m.Exemplars {
+			fmt.Printf("  req#%-8d %-16s latency %12d ns = queued %d + service %d + backoff %d (attempts %d, failure IOs %d, degraded %v)\n",
+				ex.Seq, ex.Outcome, ex.LatencyNs, ex.QueuedNs, ex.ServiceNs, ex.BackoffNs,
+				ex.Attempts, ex.FailureIOs, ex.Degraded)
+		}
+	}
+}
+
+// writeServeMetricsTSV writes the sweep record's window dump to path.
+func writeServeMetricsTSV(path string, rec *serve.SweepRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := serve.WriteMetricsTSV(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

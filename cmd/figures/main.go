@@ -58,6 +58,7 @@ import (
 	"addrxlat/internal/obs"
 	"addrxlat/internal/prof"
 	"addrxlat/internal/resultcache"
+	"addrxlat/internal/serve"
 	"addrxlat/internal/xtrace"
 )
 
@@ -103,7 +104,7 @@ func flushTrace() {
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment ids, comma-separated: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|sv1|sv2|...|all")
+		fig       = flag.String("fig", "all", "experiment ids, comma-separated: f1a|f1b|f1c|t1|t2|t3|t4|e2|e3|e4|e5|h1|sv1|sv2|sv3|...|all")
 		full      = flag.Bool("full", false, "run at the paper's full dimensions (slow)")
 		seed      = flag.Uint64("seed", 1, "root random seed")
 		format    = flag.String("format", "tsv", "output format: tsv|csv")
@@ -119,6 +120,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "max concurrent simulations per streaming row / tasks per sweep (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		lookahead = flag.Int("lookahead", 0, "chunks the row generator may run ahead of the slowest simulator in pipelined rows (0 = default); affects only overlap, never results")
 		traceF    = flag.String("trace", "", "export a Perfetto-loadable execution trace (Chrome trace-event JSON) of the sweep to this file; also derives <experiment>.timeline.tsv straggler reports next to the outputs. Results stay byte-identical")
+		serveMet  = flag.Bool("serve-metrics", false, "arm the virtual-time window collector on serve sweeps (sv1/sv2; sv3 always arms it): per-window counters/gauges/quantiles, SLO verdicts, and slowest-request exemplars, written as <table>.serve.metrics.tsv next to the outputs and recorded in the manifest. Tables stay byte-identical")
 	)
 	profile = prof.Register(nil)
 	flag.Parse()
@@ -177,6 +179,7 @@ func main() {
 	// The stalled-worker watchdog arms from the environment, never a
 	// default: ADDRXLAT_WATCHDOG=30s style (see DESIGN.md).
 	scale.Watchdog = experiments.WatchdogFromEnv()
+	scale.ServeMetrics = *serveMet
 	var cache *resultcache.Cache
 	if !*noCache && *cacheDir != "" {
 		var err error
@@ -229,6 +232,7 @@ func main() {
 		{"x1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.Crossover(s, *seed) }},
 		{"sv1", func(s experiments.Scale) (*experiments.Table, error) { return experiments.ServeGoodput(s, *seed) }},
 		{"sv2", func(s experiments.Scale) (*experiments.Table, error) { return experiments.ServeLatency(s, *seed) }},
+		{"sv3", func(s experiments.Scale) (*experiments.Table, error) { return experiments.ServeSLO(s, *seed) }},
 	}
 
 	var selected []struct {
@@ -408,6 +412,11 @@ func main() {
 		// configuration into the manifest, so a serve table is auditable
 		// from its manifest alone.
 		rr.Serve = rec.ServeRecord(tab.Name)
+		if rr.Serve != nil && rr.Serve.HasMetrics() && curveDir != "" {
+			if err := writeServeMetrics(rr.Serve, curveDir, tab.Name); err != nil {
+				die(1, "figures: %s: %v\n", e.id, err)
+			}
+		}
 		if tracer != nil {
 			// Slice this experiment's rows out of the whole-sweep trace:
 			// straggler reports go to the manifest, the expvars, the
@@ -491,6 +500,24 @@ func writeTimeline(reps []xtrace.RowReport, dir, name string) error {
 		return err
 	}
 	if err := xtrace.WriteTimelineTSV(f, reps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeServeMetrics dumps a serve sweep's per-window telemetry stream
+// into <dir>/<name>.serve.metrics.tsv (one row per (alg, load, window),
+// SLO summaries and exemplars as comment lines).
+func writeServeMetrics(sv *serve.SweepRecord, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".serve.metrics.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := serve.WriteMetricsTSV(f, sv); err != nil {
 		f.Close()
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"addrxlat/internal/core"
 	"addrxlat/internal/faultinject"
 	"addrxlat/internal/hashutil"
+	"addrxlat/internal/metrics"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/serve"
 	"addrxlat/internal/workload"
@@ -43,6 +44,7 @@ const serveEpoch = 1
 const (
 	ServeGoodputID = "sv-goodput"
 	ServeLatencyID = "sv-latency"
+	ServeSLOID     = "sv-slo"
 )
 
 // Knobs of the serving machine, all expressed as multiples of the
@@ -61,6 +63,20 @@ const (
 	serveDegradedDiv  = 4   // degraded-mode block divisor
 	serveMissNum      = 1   // deadline-miss trip ratio: 1/5 of a window's
 	serveMissDen      = 5   // terminal outcomes missing their deadline
+)
+
+// Metrics-layer policy, again in multiples of the calibrated mean
+// service time. The window is wide enough (64×mean ≈ tens of requests at
+// capacity) for a meaningful per-window p99, narrow enough that a run
+// spans dozens of windows; the SLO budget sits midway between the p50 of
+// a healthy cell and the deadline (80×mean), so underload passes and
+// overload burns; the burn ceiling is the SRE-conventional 5%.
+const (
+	serveMetricsWindowMul = 64 // metrics window = 64 × mean service
+	serveSLOBudgetMul     = 40 // SLO p99 budget = 40 × mean service
+	serveExemplarK        = 5  // slowest-request exemplars kept per cell
+	serveSLOBurnNum       = 1  // SLO met iff violating windows ≤ 1/20
+	serveSLOBurnDen       = 20 // of all windows (5% burn-rate ceiling)
 )
 
 // serveLoads is the offered-load grid, as multiples of each cell's
@@ -89,6 +105,7 @@ type serveSpec struct {
 	loads        []float64
 	algs         []serveAlg
 	seed         uint64
+	metrics      bool // arm the per-cell window collector
 }
 
 // buildServeSpec resolves the serving machine at the given scale: a
@@ -111,6 +128,7 @@ func buildServeSpec(table string, s Scale, seed uint64) (*serveSpec, error) {
 		blockPages:   256,
 		loads:        serveLoads(),
 		seed:         seed,
+		metrics:      s.ServeMetrics,
 	}
 	if n := s.accesses(20_000_000) / sp.blockPages; n > 300 {
 		sp.warmupReq = n
@@ -146,12 +164,20 @@ func buildServeSpec(table string, s Scale, seed uint64) (*serveSpec, error) {
 // seed — but NOT the table id: sv-goodput and sv-latency project the same
 // sweep, so they share cells.
 func (sp *serveSpec) cellKey(s Scale, alg string, load float64) string {
-	return fmt.Sprintf("serve|epoch=%d|alg=%s|load=%g|V=%d|P=%d|hot=%d|tlb=%d|block=%d|warm=%d|req=%d|"+
+	key := fmt.Sprintf("serve|epoch=%d|alg=%s|load=%g|V=%d|P=%d|hot=%d|tlb=%d|block=%d|warm=%d|req=%d|"+
 		"qcap=%d|att=%d|dl=%d|win=%d|retry=%d|refill=%d|qhigh=%d|rec=%d|deg=%d|miss=%d/%d|space=%d|acc=%d|seed=%d",
 		serveEpoch, alg, load, sp.virtualPages, sp.ramPages, sp.hotPages, sp.tlbEntries, sp.blockPages,
 		sp.warmupReq, sp.measuredReq, serveQueueCap, serveMaxAttempts, serveDeadlineMul, serveWindowMul,
 		serveRetryMul, serveRefillDiv, serveQueueHigh, serveRecoverDepth, serveDegradedDiv,
 		serveMissNum, serveMissDen, s.SpaceDiv, s.AccessDiv, sp.seed)
+	if sp.metrics {
+		// Armed cells carry the window stream in their blob, so they form
+		// a separate cache family from bare cells; the base Point fields
+		// are identical either way (the collector only observes), which is
+		// exactly what TestServeMetricsByteIdentical pins.
+		key += fmt.Sprintf("|met=win%d,slo%d,k%d", serveMetricsWindowMul, serveSLOBudgetMul, serveExemplarK)
+	}
+	return key
 }
 
 // runCell computes one (algorithm, load) point: build a fresh simulator,
@@ -210,10 +236,20 @@ func (sp *serveSpec) runCell(s Scale, ai, li int) (pt serve.Point, err error) {
 	sim.SetRetryBaseNs(serveRetryMul * mean)
 	sim.SetTokenBucket(mean/serveRefillDiv+1, serveQueueCap)
 	sim.SetArrivals(workload.NewPoisson(hashutil.Mix64(base+3), float64(mean)/load))
+	if sp.metrics {
+		sim.ArmMetrics(metrics.Config{
+			WidthNs:   serveMetricsWindowMul * mean,
+			BudgetNs:  serveSLOBudgetMul * mean,
+			Exemplars: serveExemplarK,
+		})
+	}
 	res := sim.Run()
 	if err := res.Counters.CheckIdentity(); err != nil {
 		return serve.Point{}, err
 	}
+	// Replay the window stream and exemplar lifecycles onto the trace (a
+	// no-op without an installed tracer or an armed collector).
+	sim.TraceInto(xtrace.Active(), fmt.Sprintf("%s %s|load=%g", sp.table, a.name, load))
 	return serve.PointFrom(a.name, load, res), nil
 }
 
@@ -319,6 +355,11 @@ func (sp *serveSpec) record(pts []serve.Point, cellErrs []error) serve.SweepReco
 			DegradedDiv:  serveDegradedDiv,
 		},
 	}
+	if sp.metrics {
+		rec.MetricsWindowMul = serveMetricsWindowMul
+		rec.SLOBudgetMul = serveSLOBudgetMul
+		rec.ExemplarK = serveExemplarK
+	}
 	for i, pt := range pts {
 		if cellErrs[i] == nil {
 			rec.Points = append(rec.Points, pt)
@@ -390,6 +431,68 @@ func ServeLatency(s Scale, seed uint64) (*Table, error) {
 		return []interface{}{
 			pt.Load, pt.Alg, pt.P50Ns, pt.P99Ns, pt.P999Ns,
 			pt.MeanServiceNs, pt.MaxQueueDepth,
+		}
+	})
+	return t, nil
+}
+
+// ServeSLO regenerates the SLO-curve table (sv3): for each algorithm and
+// offered load, the windowed-p99 verdict against the fixed tail-latency
+// budget (40 × that cell's calibrated mean service time) — violating
+// windows, burn rate, longest violation streak — and, per algorithm, the
+// maximum offered load in the grid that still met the SLO (≤ 5% of
+// windows violating). This is the paper-level "what load can each
+// translation scheme sustain under a tail budget" question; the window
+// stream behind every row rides in the manifest and the
+// <table>.serve.metrics.tsv dump. The sweep always runs with collectors
+// armed; cells are blob-cached like sv1/sv2 (a separate armed-key
+// family).
+func ServeSLO(s Scale, seed uint64) (*Table, error) {
+	sp, err := buildServeSpec(ServeSLOID, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	sp.metrics = true
+	pts, cellErrs, err := serveSweep(sp, s)
+	if err != nil {
+		return nil, err
+	}
+	// Max sustainable load per algorithm: the largest grid load whose
+	// cell met the SLO. 0 means no load in the grid qualified.
+	sustainable := make(map[string]float64, len(sp.algs))
+	for ai, a := range sp.algs {
+		for li, load := range sp.loads {
+			i := ai*len(sp.loads) + li
+			if cellErrs[i] != nil || pts[i].Metrics == nil {
+				continue
+			}
+			if pts[i].Metrics.SLO.Met(serveSLOBurnNum, serveSLOBurnDen) && load > sustainable[a.name] {
+				sustainable[a.name] = load
+			}
+		}
+	}
+	t := &Table{
+		Name: ServeSLOID,
+		Caption: fmt.Sprintf(
+			"SLO curve: windowed p99 vs a %d×mean-service budget (windows of %d×mean, SLO met iff ≤ %d/%d windows violate; bimodal tenant, V=%d pages, RAM=%d pages, TLB=%d entries, %d offered requests)",
+			serveSLOBudgetMul, serveMetricsWindowMul, serveSLOBurnNum, serveSLOBurnDen,
+			sp.virtualPages, sp.ramPages, sp.tlbEntries, sp.measuredReq),
+		Columns: []string{"offered_load", "alg", "goodput_per_sec", "p99_ns", "budget_ns",
+			"windows", "violations", "burn_rate_pct", "max_streak", "slo_ok", "max_sustainable_load"},
+	}
+	sp.forGrid(pts, cellErrs, t, func(pt serve.Point) []interface{} {
+		m := pt.Metrics
+		if m == nil {
+			// A cell computed without its window stream (impossible via
+			// this sweep, defensive against hand-built caches) degrades
+			// like an error row.
+			return []interface{}{pt.Load, pt.Alg, pt.GoodputPerSec, pt.P99Ns,
+				"error", "error", "error", "error", "error", "error", "error"}
+		}
+		return []interface{}{
+			pt.Load, pt.Alg, pt.GoodputPerSec, pt.P99Ns, m.SLO.BudgetNs,
+			m.SLO.Windows, m.SLO.Violations, m.SLO.BurnRatePct(), m.SLO.MaxStreak,
+			m.SLO.Met(serveSLOBurnNum, serveSLOBurnDen), sustainable[pt.Alg],
 		}
 	})
 	return t, nil

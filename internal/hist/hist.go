@@ -146,6 +146,14 @@ func (h *H) Quantile(q float64) int64 {
 	return h.max
 }
 
+// Reset returns h to its empty state for reuse, so a caller that needs
+// one histogram per window (the serving metrics layer closes a window,
+// extracts its quantiles, and starts the next) can recycle a single H
+// instead of allocating per window. Aggregation across windows composes
+// with Merge: merging per-window histograms reproduces exactly the
+// histogram of the whole run (pinned by TestMergedWindowsEqualWholeRun).
+func (h *H) Reset() { *h = H{} }
+
 // Merge folds other into h. The merged histogram is exactly the histogram
 // of the concatenated sample streams.
 func (h *H) Merge(other *H) {

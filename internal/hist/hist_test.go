@@ -100,6 +100,75 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergedWindowsEqualWholeRun is the window→total aggregation
+// property the serving metrics layer relies on: split a sample stream
+// into fixed-width windows, record each window into one reusable
+// histogram (Reset between windows, as the metrics collector does),
+// merge the per-window histograms, and the result answers every
+// quantile exactly as a single whole-run histogram would — which is in
+// turn within the documented 2^-subBits (≤ 6.25%) relative error of the
+// exact sorted-sample quantile.
+func TestMergedWindowsEqualWholeRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const windows, perWindow = 37, 271
+	var whole, merged, win H
+	samples := make([]int64, 0, windows*perWindow)
+	for w := 0; w < windows; w++ {
+		win.Reset()
+		for i := 0; i < perWindow; i++ {
+			// A shifting mixture so windows have genuinely different
+			// distributions, like a serving run drifting into overload.
+			v := rng.Int63n(1_000_000) + int64(w)*50_000
+			samples = append(samples, v)
+			whole.Observe(v)
+			win.Observe(v)
+		}
+		merged.Merge(&win)
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary differs: %v vs %v", merged.String(), whole.String())
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		m, w := merged.Quantile(q), whole.Quantile(q)
+		if m != w {
+			t.Errorf("q=%g: merged-windows %d != whole-run %d", q, m, w)
+		}
+		rank := int(q*float64(len(samples)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		if m > exact {
+			t.Errorf("q=%g: histogram answer %d above exact %d", q, m, exact)
+		}
+		if exact > 0 {
+			if rel := float64(exact-m) / float64(exact); rel > 1.0/(1<<subBits) {
+				t.Errorf("q=%g: relative error %.4f beyond bound %.4f (got %d, exact %d)",
+					q, rel, 1.0/(1<<subBits), m, exact)
+			}
+		}
+	}
+}
+
+// TestReset: a Reset histogram is indistinguishable from a fresh zero
+// value, including min/max tracking on reuse.
+func TestReset(t *testing.T) {
+	var h H
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("Reset left state behind: %s", h.String())
+	}
+	h.Observe(7)
+	if h.Min() != 7 || h.Max() != 7 || h.Count() != 1 {
+		t.Fatalf("reuse after Reset broken: %s", h.String())
+	}
+}
+
 // TestEmptyAndNegative: the zero histogram answers zeros; negative samples
 // clamp instead of corrupting bucket indexing.
 func TestEmptyAndNegative(t *testing.T) {

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWindowBoundaries pins the window math: an event at exactly a
+// window edge closes the prior window and lands in the next one, and a
+// clock jump over several edges closes every crossed window with the
+// same gauge sample.
+func TestWindowBoundaries(t *testing.T) {
+	c := New(Config{WidthNs: 100})
+	c.Advance(0, Gauges{})
+	c.Admit() // window 0
+	c.Advance(99, Gauges{})
+	c.Admit()                             // still window 0
+	c.Advance(100, Gauges{QueueDepth: 7}) // closes window 0
+	c.Admit()                             // window 1
+	c.Advance(350, Gauges{QueueDepth: 3}) // closes windows 1 and 2
+	c.Admit()                             // window 3
+	c.Finish(Gauges{QueueDepth: 1})
+
+	rec := c.Report()
+	if len(rec.Windows) != 4 {
+		t.Fatalf("windows = %d, want 4", len(rec.Windows))
+	}
+	wantAdmit := []uint64{2, 1, 0, 1}
+	wantDepth := []int{7, 3, 3, 1}
+	for i, w := range rec.Windows {
+		if w.Index != i || w.StartNs != int64(i)*100 {
+			t.Errorf("window %d: index=%d start=%d", i, w.Index, w.StartNs)
+		}
+		if w.Admitted != wantAdmit[i] {
+			t.Errorf("window %d: admitted = %d, want %d", i, w.Admitted, wantAdmit[i])
+		}
+		if w.QueueDepth != wantDepth[i] {
+			t.Errorf("window %d: queue depth = %d, want %d", i, w.QueueDepth, wantDepth[i])
+		}
+	}
+}
+
+// TestFinishIdempotent pins that Finish closes the trailing window
+// exactly once.
+func TestFinishIdempotent(t *testing.T) {
+	c := New(Config{WidthNs: 100})
+	c.Complete(10)
+	c.Finish(Gauges{})
+	c.Finish(Gauges{})
+	c.Finish(Gauges{})
+	if got := len(c.Report().Windows); got != 1 {
+		t.Fatalf("windows after triple Finish = %d, want 1", got)
+	}
+}
+
+// TestSLOAccounting pins the burn-rate and streak bookkeeping: empty
+// windows never violate, and the longest streak tracks consecutive
+// violating windows only.
+func TestSLOAccounting(t *testing.T) {
+	c := New(Config{WidthNs: 100, BudgetNs: 50})
+	// Window 0: p99 below budget.
+	c.Complete(10)
+	c.Advance(100, Gauges{})
+	// Windows 1, 2: violations (p99 above budget).
+	c.Complete(500)
+	c.Advance(200, Gauges{})
+	c.Complete(900)
+	c.Advance(300, Gauges{})
+	// Window 3: empty — never a violation.
+	c.Advance(400, Gauges{})
+	// Window 4: violation again (streak resets to 1).
+	c.Complete(800)
+	c.Finish(Gauges{})
+
+	rec := c.Report()
+	s := rec.SLO
+	if s.Windows != 5 || s.Violations != 3 || s.MaxStreak != 2 {
+		t.Fatalf("SLO = %+v, want windows=5 violations=3 max_streak=2", s)
+	}
+	if s.Met(1, 20) {
+		t.Errorf("Met(1/20) = true for 3/5 violations")
+	}
+	if !s.Met(3, 5) {
+		t.Errorf("Met(3/5) = false for 3/5 violations")
+	}
+	if got := s.BurnRatePct(); got != 60 {
+		t.Errorf("BurnRatePct = %g, want 60", got)
+	}
+	if !rec.Windows[3].Violation == false {
+		t.Errorf("empty window marked violating")
+	}
+}
+
+// TestExemplarReservoir pins the top-K selection: latency descending
+// with admission order breaking ties, independent of offer order.
+func TestExemplarReservoir(t *testing.T) {
+	c := New(Config{WidthNs: 100, Exemplars: 3})
+	offer := []Exemplar{
+		{Seq: 1, LatencyNs: 50},
+		{Seq: 2, LatencyNs: 900},
+		{Seq: 3, LatencyNs: 100},
+		{Seq: 4, LatencyNs: 100}, // tie with seq 3: earlier seq wins
+		{Seq: 5, LatencyNs: 700},
+		{Seq: 6, LatencyNs: 10},
+	}
+	for _, ex := range offer {
+		c.ObserveTerminal(ex)
+	}
+	c.Finish(Gauges{})
+	got := c.Report().Exemplars
+	wantSeq := []uint64{2, 5, 3}
+	if len(got) != len(wantSeq) {
+		t.Fatalf("exemplars = %d, want %d", len(got), len(wantSeq))
+	}
+	for i, ex := range got {
+		if ex.Seq != wantSeq[i] {
+			t.Errorf("exemplar %d: seq = %d, want %d (got %+v)", i, ex.Seq, wantSeq[i], got)
+		}
+	}
+}
+
+// TestNilSafety pins that a nil collector ignores every hook — the
+// serving event loop calls them unconditionally.
+func TestNilSafety(t *testing.T) {
+	var c *C
+	c.Advance(100, Gauges{})
+	c.Admit()
+	c.Reject()
+	c.Complete(5)
+	c.TimedOut()
+	c.Shed()
+	c.Retry()
+	c.FailureIOs(3)
+	c.DegradedServed()
+	c.Governor(7, true)
+	c.ObserveTerminal(Exemplar{})
+	c.Finish(Gauges{})
+	if rec := c.Report(); len(rec.Windows) != 0 {
+		t.Fatalf("nil collector reported %d windows", len(rec.Windows))
+	}
+}
+
+// TestRecordJSONStable pins that the serialized Record carries no
+// attempt timelines (they are trace-only) and that the encoding is
+// deterministic — the blob cache diffs bytes.
+func TestRecordJSONStable(t *testing.T) {
+	build := func() Record {
+		c := New(Config{WidthNs: 100, BudgetNs: 50, Exemplars: 2})
+		c.Admit()
+		c.Complete(75)
+		c.Governor(42, true)
+		c.ObserveTerminal(Exemplar{Seq: 1, LatencyNs: 75, Outcome: "completed",
+			Timeline: [MaxAttemptRecs]AttemptRec{{EnqueueNs: 1, StartNs: 2, EndNs: 76}}})
+		c.Finish(Gauges{QueueDepth: 1})
+		return c.Report()
+	}
+	a, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic encoding:\n%s\n%s", a, b)
+	}
+	var decoded Record
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Exemplars[0].Timeline != ([MaxAttemptRecs]AttemptRec{}) {
+		t.Errorf("attempt timeline leaked into JSON: %s", a)
+	}
+}

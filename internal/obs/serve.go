@@ -35,6 +35,23 @@ func (r *Recorder) ServeSweep(rec serve.SweepRecord) {
 	expInt("serve_degraded").Add(int64(sum.Degraded))
 	expInt("serve_governor_trips").Add(int64(sum.GovernorTrips))
 
+	// Windowed-telemetry aggregates (zero unless the sweep ran with the
+	// metrics collector armed): closed windows, SLO-violating windows,
+	// and retained slowest-request exemplars across all points.
+	var wins, viols, exemplars int64
+	for i := range rec.Points {
+		if m := rec.Points[i].Metrics; m != nil {
+			wins += int64(m.SLO.Windows)
+			viols += int64(m.SLO.Violations)
+			exemplars += int64(len(m.Exemplars))
+		}
+	}
+	if wins > 0 || exemplars > 0 {
+		expInt("serve_metrics_windows").Add(wins)
+		expInt("serve_metrics_slo_violations").Add(viols)
+		expInt("serve_metrics_exemplars").Add(exemplars)
+	}
+
 	r.mu.Lock()
 	r.serves = append(r.serves, rec)
 	r.mu.Unlock()

@@ -1,0 +1,198 @@
+// Metrics and trace surface of the serving event loop: arming the
+// virtual-time window collector (internal/metrics), sampling event-
+// boundary gauges, attributing each terminal request's latency to
+// queue/service/backoff time for the exemplar reservoir, and replaying
+// the finished stream onto an xtrace tracer as Perfetto-loadable
+// virtual-time threads.
+//
+// Everything here observes; nothing schedules, draws randomness, or
+// mutates simulator state. The hooks in serve.go are nil-safe no-ops
+// when disarmed, and the request-struct bookkeeping they feed is written
+// branch-free either way, so armed and disarmed runs execute the same
+// event sequence (pinned by TestServeMetricsByteIdentical).
+package serve
+
+import (
+	"fmt"
+
+	"addrxlat/internal/metrics"
+	"addrxlat/internal/xtrace"
+)
+
+// Terminal outcome labels carried by exemplars and trace spans.
+const (
+	OutcomeCompleted      = "completed"
+	OutcomeTimedOutQueued = "timed_out_queued"
+	OutcomeTimedOutServed = "timed_out_served"
+	OutcomeShed           = "shed"
+)
+
+// ArmMetrics attaches a virtual-time metrics collector to the run. Call
+// after Calibrate (the window width should be a multiple of the
+// calibrated mean so it is seed/host-stable) and before Start.
+func (s *Sim) ArmMetrics(cfg metrics.Config) { s.met = metrics.New(cfg) }
+
+// MetricsArmed reports whether a collector is attached.
+func (s *Sim) MetricsArmed() bool { return s.met != nil }
+
+// MetricsRecord finalizes and returns the collector's record, nil when
+// disarmed. The first call closes the trailing partial window with the
+// loop's final gauges; each call assembles a fresh Record. Valid once
+// Step returns false (or Run returns).
+func (s *Sim) MetricsRecord() *metrics.Record {
+	if s.met == nil {
+		return nil
+	}
+	s.met.Finish(s.gauges())
+	rec := s.met.Report()
+	return &rec
+}
+
+// gauges snapshots the event-boundary state the window collector samples
+// at window close. Between events every gauge is constant, so the sample
+// is exact for any window edge the clock jumped over.
+func (s *Sim) gauges() metrics.Gauges {
+	return metrics.Gauges{
+		QueueDepth: s.queue.len(),
+		HeapLen:    len(s.heap),
+		Tokens:     s.tokensNow(),
+		Degraded:   s.degraded,
+	}
+}
+
+// tokensNow computes the token bucket's effective level at the current
+// virtual time without mutating the lazily-refilled bucket state.
+// Returns -1 when throttling is disabled (no bucket to read).
+func (s *Sim) tokensNow() int64 {
+	if s.cfg.RefillNs <= 0 {
+		return -1
+	}
+	if !s.bkt.primed {
+		return s.cfg.Burst
+	}
+	t := s.bkt.tokens + (s.now-s.bkt.lastNs)/s.cfg.RefillNs
+	if t > s.cfg.Burst {
+		t = s.cfg.Burst
+	}
+	return t
+}
+
+// observeTerminal offers a finished request to the exemplar reservoir
+// with the causal split of its latency: time queued, in service, and in
+// retry backoff, reconstructed from the attempt timeline. Requests whose
+// attempt count overflows the fixed timeline keep their true Attempts
+// and LatencyNs but an under-counted split (the harness runs 3 attempts;
+// the cap is 8).
+func (s *Sim) observeTerminal(r *request, outcome string) {
+	if s.met == nil {
+		return
+	}
+	ex := metrics.Exemplar{
+		Seq:        r.seq,
+		ArriveNs:   r.arriveNs,
+		LatencyNs:  s.now - r.arriveNs,
+		Outcome:    outcome,
+		Attempts:   r.attempts,
+		FailureIOs: r.failIOs,
+		Degraded:   r.degraded,
+		Timeline:   r.rec,
+	}
+	last := r.attempts
+	if last > metrics.MaxAttemptRecs {
+		last = metrics.MaxAttemptRecs
+	}
+	for i := 0; i < last; i++ {
+		rec := r.rec[i]
+		ex.QueuedNs += rec.StartNs - rec.EnqueueNs
+		ex.ServiceNs += rec.EndNs - rec.StartNs
+		if i+1 < metrics.MaxAttemptRecs && r.rec[i+1].EnqueueNs > 0 {
+			ex.BackoffNs += r.rec[i+1].EnqueueNs - rec.EndNs
+		}
+	}
+	switch {
+	case last < metrics.MaxAttemptRecs && r.rec[last].EnqueueNs > 0 && r.rec[last].StartNs == 0:
+		// A pending enqueue with no service start: the request timed out
+		// or was governor-shed while waiting in the queue.
+		ex.QueuedNs += s.now - r.rec[last].EnqueueNs
+	case last > 0 && s.now > r.rec[last-1].EndNs:
+		// Shed at retry time: the tail is backoff that never re-enqueued.
+		ex.BackoffNs += s.now - r.rec[last-1].EndNs
+	}
+	s.met.ObserveTerminal(ex)
+}
+
+// TraceInto replays the finished metrics stream onto tr as virtual-time
+// timelines: one cell thread carrying the per-window gauge counter track,
+// per-window shed instants, and governor trip/clear instants, plus one
+// thread per exemplar carrying its request-lifecycle span tree (queued →
+// attempt → backoff spans nested under one request span). Virtual stamps
+// share the trace's microsecond axis with the sweep's wall-clock threads
+// but never the same thread, so Validate's per-thread nesting holds.
+// Call after the loop drains; label names the cell (table|alg|load).
+func (s *Sim) TraceInto(tr *xtrace.Tracer, label string) {
+	if tr == nil || s.met == nil {
+		return
+	}
+	rec := s.MetricsRecord()
+	th := tr.Thread("serve " + label)
+	for i := range rec.Windows {
+		w := &rec.Windows[i]
+		end := w.StartNs + rec.WidthNs
+		th.CounterAt("serve state "+label, end,
+			xtrace.ArgInt("queue_depth", int64(w.QueueDepth)),
+			xtrace.ArgInt("heap_len", int64(w.HeapLen)),
+			xtrace.ArgInt("tokens", w.Tokens))
+		if w.Shed > 0 {
+			th.InstantAt(xtrace.InstantShed, end, xtrace.ArgInt("count", int64(w.Shed)))
+		}
+	}
+	for _, g := range rec.Governor {
+		if g.Trip {
+			th.InstantAt(xtrace.InstantGovTrip, g.AtNs)
+		} else {
+			th.InstantAt(xtrace.InstantGovClear, g.AtNs)
+		}
+	}
+	for _, ex := range rec.Exemplars {
+		traceExemplar(tr, label, ex)
+	}
+}
+
+// traceExemplar emits one exemplar's lifecycle span tree on its own
+// thread. The request span covers arrival → terminal; every child span
+// reconstructed from the attempt timeline lies inside it, satisfying the
+// serve schema Validate enforces.
+func traceExemplar(tr *xtrace.Tracer, label string, ex metrics.Exemplar) {
+	th := tr.Thread(fmt.Sprintf("serve req#%d %s", ex.Seq, label))
+	if th == nil {
+		return
+	}
+	endNs := ex.ArriveNs + ex.LatencyNs
+	deg := int64(0)
+	if ex.Degraded {
+		deg = 1
+	}
+	th.SpanAt("request", xtrace.CatServeRequest, ex.ArriveNs, endNs,
+		xtrace.ArgStr("outcome", ex.Outcome),
+		xtrace.ArgInt("attempts", int64(ex.Attempts)),
+		xtrace.ArgInt("failure_ios", int64(ex.FailureIOs)),
+		xtrace.ArgInt("degraded", deg))
+	last := ex.Attempts
+	if last > metrics.MaxAttemptRecs {
+		last = metrics.MaxAttemptRecs
+	}
+	for i := 0; i < last; i++ {
+		rec := ex.Timeline[i]
+		th.SpanAt("queued", xtrace.CatServeQueued, rec.EnqueueNs, rec.StartNs)
+		th.SpanAt(fmt.Sprintf("attempt %d", i+1), xtrace.CatServeAttempt, rec.StartNs, rec.EndNs)
+		if i+1 < metrics.MaxAttemptRecs && ex.Timeline[i+1].EnqueueNs > 0 {
+			th.SpanAt("backoff", xtrace.CatServeBackoff, rec.EndNs, ex.Timeline[i+1].EnqueueNs)
+		}
+	}
+	switch {
+	case last < metrics.MaxAttemptRecs && ex.Timeline[last].EnqueueNs > 0 && ex.Timeline[last].StartNs == 0:
+		th.SpanAt("queued", xtrace.CatServeQueued, ex.Timeline[last].EnqueueNs, endNs)
+	case last > 0 && endNs > ex.Timeline[last-1].EndNs:
+		th.SpanAt("backoff", xtrace.CatServeBackoff, ex.Timeline[last-1].EndNs, endNs)
+	}
+}

@@ -1,5 +1,12 @@
 package serve
 
+import (
+	"fmt"
+	"io"
+
+	"addrxlat/internal/metrics"
+)
+
 // Point is one (algorithm, offered-load) cell of a serve sweep, in the
 // JSON shape shared by the blob result cache and the run manifest. The
 // floats it carries are computed from virtual-time integers, so the
@@ -16,6 +23,12 @@ type Point struct {
 	MaxQueueDepth int      `json:"max_queue_depth"`
 	MaxHeapLen    int      `json:"max_heap_len"`
 	Counters      Counters `json:"counters"`
+
+	// Metrics carries the windowed telemetry stream when the cell ran
+	// with a collector armed: closed windows, SLO verdict, governor
+	// transitions, and slowest-request exemplars. Integer-valued
+	// throughout, so the JSON stays byte-stable.
+	Metrics *metrics.Record `json:"metrics,omitempty"`
 }
 
 // PointFrom projects a run result into a Point.
@@ -32,6 +45,7 @@ func PointFrom(alg string, load float64, r Result) Point {
 		MaxQueueDepth: r.MaxQueueDepth,
 		MaxHeapLen:    r.MaxHeapLen,
 		Counters:      r.Counters,
+		Metrics:       r.Metrics,
 	}
 }
 
@@ -56,4 +70,70 @@ type SweepRecord struct {
 	Cost        CostModel      `json:"cost_model"`
 	Governor    GovernorConfig `json:"governor"`
 	Points      []Point        `json:"points"`
+
+	// Metrics configuration, all zero when the sweep ran disarmed. The
+	// window width and SLO budget are recorded as multiples of each
+	// cell's calibrated mean service time (the absolute ns differ per
+	// algorithm; the multiples are the sweep-level policy).
+	MetricsWindowMul int64 `json:"metrics_window_mul,omitempty"`
+	SLOBudgetMul     int64 `json:"slo_budget_mul,omitempty"`
+	ExemplarK        int   `json:"exemplar_k,omitempty"`
+}
+
+// WriteMetricsTSV dumps every armed point's window stream as one flat
+// TSV (the <table>.serve.metrics.tsv artifact): a row per (alg, load,
+// window) with the window's counters, close-time gauges, and latency
+// quantiles, preceded by per-cell SLO summary comments and followed by
+// exemplar comments. Points without metrics are skipped.
+func WriteMetricsTSV(w io.Writer, rec *SweepRecord) error {
+	if _, err := fmt.Fprintf(w, "# %s serve metrics — window width %d× / budget %d× calibrated mean service\n",
+		rec.Table, rec.MetricsWindowMul, rec.SLOBudgetMul); err != nil {
+		return err
+	}
+	cols := "alg\toffered_load\twindow\tstart_ns\twidth_ns\tadmitted\tcompleted\trejected\tshed\ttimed_out\tretries\tfailure_ios\tdegraded_served\tqueue_depth\theap_len\ttokens\tdegraded\tlat_count\tp50_ns\tp99_ns\tmax_ns\tviolation\n"
+	if _, err := io.WriteString(w, cols); err != nil {
+		return err
+	}
+	for i := range rec.Points {
+		p := &rec.Points[i]
+		m := p.Metrics
+		if m == nil {
+			continue
+		}
+		s := m.SLO
+		if _, err := fmt.Fprintf(w, "# slo %s load=%g: budget_ns=%d windows=%d violations=%d burn_rate_pct=%.4g max_streak=%d\n",
+			p.Alg, p.Load, s.BudgetNs, s.Windows, s.Violations, s.BurnRatePct(), s.MaxStreak); err != nil {
+			return err
+		}
+		for j := range m.Windows {
+			win := &m.Windows[j]
+			if _, err := fmt.Fprintf(w, "%s\t%g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%v\n",
+				p.Alg, p.Load, win.Index, win.StartNs, m.WidthNs,
+				win.Admitted, win.Completed, win.Rejected, win.Shed, win.TimedOut,
+				win.Retries, win.FailureIOs, win.DegradedServed,
+				win.QueueDepth, win.HeapLen, win.Tokens, win.Degraded,
+				win.Count, win.P50Ns, win.P99Ns, win.MaxNs, win.Violation); err != nil {
+				return err
+			}
+		}
+		for _, ex := range m.Exemplars {
+			if _, err := fmt.Fprintf(w, "# exemplar %s load=%g: seq=%d outcome=%s latency_ns=%d attempts=%d failure_ios=%d queued_ns=%d service_ns=%d backoff_ns=%d degraded=%v\n",
+				p.Alg, p.Load, ex.Seq, ex.Outcome, ex.LatencyNs, ex.Attempts,
+				ex.FailureIOs, ex.QueuedNs, ex.ServiceNs, ex.BackoffNs, ex.Degraded); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HasMetrics reports whether any point of the sweep carries a windowed
+// telemetry record (i.e. the sweep ran with collectors armed).
+func (r *SweepRecord) HasMetrics() bool {
+	for i := range r.Points {
+		if r.Points[i].Metrics != nil {
+			return true
+		}
+	}
+	return false
 }

@@ -26,6 +26,7 @@ import (
 	"addrxlat/internal/faultinject"
 	"addrxlat/internal/hashutil"
 	"addrxlat/internal/hist"
+	"addrxlat/internal/metrics"
 	"addrxlat/internal/mm"
 	"addrxlat/internal/workload"
 )
@@ -154,6 +155,15 @@ type request struct {
 	attempts   int
 	failed     bool // last service attempt hit a failure IO
 	next       *request
+
+	// Lifecycle bookkeeping for the metrics layer. Written unconditionally
+	// (branch-free stores; the freelist zeroes them on reuse) but only read
+	// when a collector is armed, so armed and disarmed runs execute the
+	// same event sequence.
+	seq      uint64 // admission order, 1-based
+	failIOs  uint64 // decoupling failure IOs across all attempts
+	degraded bool   // any attempt ran in degraded mode
+	rec      [metrics.MaxAttemptRecs]metrics.AttemptRec
 }
 
 // Sim is one deterministic serving run: a single-server queue whose
@@ -178,6 +188,7 @@ type Sim struct {
 	busy      *request
 	c         Counters
 	lat       *hist.H
+	met       *metrics.C // nil unless ArmMetrics; hooks are nil-safe
 	degraded  bool
 	burstLeft int
 	offered   int
@@ -282,9 +293,10 @@ func (s *Sim) Calibrate(n int) int64 {
 }
 
 // serviceBlock draws one page block, services it on the simulator, and
-// prices the cost delta. failed reports whether the attempt generated
-// decoupling failure IOs (only meaningful when explain is enabled).
-func (s *Sim) serviceBlock(pages int) (ns int64, failed bool) {
+// prices the cost delta. failIOs is the number of decoupling failure IOs
+// the attempt generated (non-zero triggers the retry path; only
+// meaningful when explain is enabled).
+func (s *Sim) serviceBlock(pages int) (ns int64, failIOs uint64) {
 	buf := s.block[:pages]
 	workload.Fill(s.gen, buf)
 	before := s.alg.Costs()
@@ -300,8 +312,10 @@ func (s *Sim) serviceBlock(pages int) (ns int64, failed bool) {
 		DecodingMisses: after.DecodingMisses - before.DecodingMisses,
 		Accesses:       after.Accesses - before.Accesses,
 	})
-	failed = s.ec != nil && s.ec.IOFailure > failBefore
-	return ns, failed
+	if s.ec != nil {
+		failIOs = s.ec.IOFailure - failBefore
+	}
+	return ns, failIOs
 }
 
 // Start seeds the event loop: the first arrival and, when the governor is
@@ -334,6 +348,13 @@ func (s *Sim) Step() bool {
 	}
 	e := s.pop()
 	s.now = e.at
+	if s.met != nil {
+		// Close any metrics windows the clock jumped over before applying
+		// this event's effects: an event at t belongs to t's own window,
+		// and between events the gauges are constant, so sampling them
+		// here is exact for every crossed window edge.
+		s.met.Advance(s.now, s.gauges())
+	}
 	switch e.kind {
 	case evArrival:
 		s.arrive()
@@ -379,15 +400,20 @@ func (s *Sim) arrive() {
 
 	if !s.takeToken() {
 		s.c.RejectedThrottle++
+		s.met.Reject()
 		return
 	}
 	if s.queue.full() {
 		s.c.RejectedQueue++
+		s.met.Reject()
 		return
 	}
 	s.c.Admitted++
+	s.met.Admit()
 	r := s.alloc()
 	r.arriveNs = s.now
+	r.seq = s.c.Admitted
+	r.rec[0].EnqueueNs = s.now
 	r.deadlineNs = math.MaxInt64
 	if s.cfg.DeadlineNs > 0 {
 		r.deadlineNs = s.now + s.cfg.DeadlineNs
@@ -409,8 +435,10 @@ func (s *Sim) startService() {
 		}
 		if s.now > r.deadlineNs {
 			s.c.TimedOutQueued++
+			s.met.TimedOut()
 			s.winTimeouts++
 			s.terminal()
+			s.observeTerminal(r, OutcomeTimedOutQueued)
 			s.freeReq(r)
 			continue
 		}
@@ -423,10 +451,20 @@ func (s *Sim) startService() {
 				}
 			}
 			s.c.Degraded++
+			s.met.DegradedServed()
+			r.degraded = true
 		}
 		r.attempts++
-		ns, failed := s.serviceBlock(pages)
-		r.failed = failed
+		ns, failIOs := s.serviceBlock(pages)
+		r.failed = failIOs > 0
+		r.failIOs += failIOs
+		if failIOs > 0 {
+			s.met.FailureIOs(failIOs)
+		}
+		if i := r.attempts - 1; i < metrics.MaxAttemptRecs {
+			r.rec[i].StartNs = s.now
+			r.rec[i].EndNs = s.now + ns
+		}
 		s.busy = r
 		s.push(event{at: s.now + ns, kind: evDeparture, req: r})
 	}
@@ -439,19 +477,24 @@ func (s *Sim) depart(r *request) {
 	switch {
 	case s.now > r.deadlineNs:
 		s.c.TimedOutServed++
+		s.met.TimedOut()
 		s.winTimeouts++
 		s.terminal()
+		s.observeTerminal(r, OutcomeTimedOutServed)
 		s.freeReq(r)
 	case r.failed && r.attempts < s.cfg.MaxAttempts:
 		s.c.Retries++
+		s.met.Retry()
 		s.push(event{at: s.now + s.backoff(r.attempts), kind: evRetry, req: r})
 	default:
 		if r.failed {
 			s.c.RetryExhausted++
 		}
 		s.c.Completed++
+		s.met.Complete(s.now - r.arriveNs)
 		s.lat.Observe(s.now - r.arriveNs)
 		s.terminal()
+		s.observeTerminal(r, OutcomeCompleted)
 		s.freeReq(r)
 	}
 	s.startService()
@@ -463,9 +506,14 @@ func (s *Sim) depart(r *request) {
 func (s *Sim) retry(r *request) {
 	if s.queue.full() {
 		s.c.Shed++
+		s.met.Shed()
 		s.terminal()
+		s.observeTerminal(r, OutcomeShed)
 		s.freeReq(r)
 		return
+	}
+	if i := r.attempts; i < metrics.MaxAttemptRecs {
+		r.rec[i].EnqueueNs = s.now
 	}
 	s.queue.push(r)
 	if d := s.queue.len(); d > s.maxQueue {
@@ -500,16 +548,20 @@ func (s *Sim) govTick() {
 		if depth >= g.QueueHigh || missHigh {
 			s.degraded = true
 			s.c.GovernorTrips++
+			s.met.Governor(s.now, true)
 			for s.queue.len() > g.RecoverDepth {
 				r := s.queue.pop()
 				s.c.Shed++
+				s.met.Shed()
 				s.terminal()
+				s.observeTerminal(r, OutcomeShed)
 				s.freeReq(r)
 			}
 		}
 	} else if depth <= g.RecoverDepth && !missHigh {
 		s.degraded = false
 		s.c.GovernorRecovers++
+		s.met.Governor(s.now, false)
 	}
 	s.winTimeouts, s.winDone = 0, 0
 	// Reschedule while anything remains in flight; an empty heap here
@@ -534,17 +586,19 @@ func (s *Sim) Result() Result {
 		MaxQueueDepth: s.maxQueue,
 		MaxHeapLen:    s.maxHeap,
 		Latency:       s.lat,
+		Metrics:       s.MetricsRecord(),
 	}
 }
 
 // Result is the outcome of one serving run.
 type Result struct {
 	Counters      Counters
-	MeanServiceNs int64   // calibrated closed-loop mean service ns (0 if not calibrated)
-	HorizonNs     int64   // virtual time of the last processed event
-	MaxQueueDepth int     // peak bounded-FIFO depth (≤ QueueCap)
-	MaxHeapLen    int     // peak event-heap length (bounded-memory witness)
-	Latency       *hist.H // sojourn ns of completed requests
+	MeanServiceNs int64           // calibrated closed-loop mean service ns (0 if not calibrated)
+	HorizonNs     int64           // virtual time of the last processed event
+	MaxQueueDepth int             // peak bounded-FIFO depth (≤ QueueCap)
+	MaxHeapLen    int             // peak event-heap length (bounded-memory witness)
+	Latency       *hist.H         // sojourn ns of completed requests
+	Metrics       *metrics.Record // windowed telemetry; nil unless ArmMetrics
 }
 
 // GoodputPerSec is completed requests per virtual second.

@@ -48,6 +48,102 @@ func TestArrivalsMeanRate(t *testing.T) {
 	}
 }
 
+// TestPoissonSeededExact pins the seeded virtual-time sequence itself:
+// the serve tables and the metrics windows built on them are
+// byte-identical across hosts only because these exact gaps come out of
+// the same seed everywhere.
+func TestPoissonSeededExact(t *testing.T) {
+	p := NewPoisson(7, 1000)
+	want := []int64{16, 2310, 874, 602, 286, 631, 397, 144}
+	for i, w := range want {
+		if g := p.NextDelayNs(); g != w {
+			t.Fatalf("gap %d = %d, want %d", i, g, w)
+		}
+	}
+}
+
+// TestOnOffBurstWindowEdges looks at the burst source the way the
+// metrics layer does — fixed-width virtual-time windows — and pins both
+// the seeded exact position of the first phase edge and the windowed
+// shape: off phases show up as empty windows at roughly the duty-cycle
+// fraction, and on-phase windows carry the full burst intensity.
+func TestOnOffBurstWindowEdges(t *testing.T) {
+	// Seeded exact: with mean on-gap 250 over a 50 µs on phase, the first
+	// crossing gap absorbs the whole 150 µs off phase, landing arrival
+	// 181 at exactly t=200286 — the first arrival of the second on phase.
+	b := NewOnOffBurst(7, 250, 50_000, 150_000)
+	var now int64
+	for i := 1; ; i++ {
+		d := b.NextDelayNs()
+		now += d
+		if d >= 150_000 {
+			if i != 181 || now != 200_286 {
+				t.Fatalf("first off-phase crossing: arrival %d at t=%d, want 181 at t=200286", i, now)
+			}
+			break
+		}
+		if i > 1000 {
+			t.Fatal("no off-phase crossing in the first 1000 arrivals")
+		}
+	}
+
+	// Windowed shape: bucket arrivals into windows of the on-phase width.
+	const width = 50_000
+	b = NewOnOffBurst(11, 250, 50_000, 150_000)
+	counts := map[int64]int{}
+	now = 0
+	var last int64
+	for i := 0; i < 40_000; i++ {
+		now += b.NextDelayNs()
+		counts[now/width]++
+		last = now / width
+	}
+	empty, max := 0, 0
+	for w := int64(0); w <= last; w++ {
+		if c := counts[w]; c == 0 {
+			empty++
+		} else if c > max {
+			max = c
+		}
+	}
+	// Duty cycle is 25%, but phases drift off the window grid (phasePos
+	// resets at the crossing arrival), so a 50 µs on phase typically
+	// straddles two 50 µs windows: ~2 of every 4 windows see arrivals.
+	frac := float64(empty) / float64(last+1)
+	if frac < 0.4 || frac > 0.75 {
+		t.Errorf("empty-window fraction = %.2f, want ~0.5", frac)
+	}
+	// An on-phase window at 4× the average rate holds ~200 arrivals.
+	if max < 120 {
+		t.Errorf("densest window holds %d arrivals, want the ~200 of a full on phase", max)
+	}
+}
+
+// TestDiurnalWindowPhase folds the diurnal source into absolute-time
+// phase bins (the process advances its own virtual clock, so bins align
+// exactly with the sinusoid): windows under the peak must carry several
+// times the arrivals of windows in the trough.
+func TestDiurnalWindowPhase(t *testing.T) {
+	const period, width = 1_000_000, 125_000 // 8 bins per period
+	d := NewDiurnal(7, 1000, []int64{period}, []float64{0.9})
+	bins := [8]int{}
+	var now int64
+	for i := 0; i < 100_000; i++ {
+		now += d.NextDelayNs()
+		bins[(now%period)/width]++
+	}
+	// sin peaks at t=period/4 (bins 1-2) and troughs at 3·period/4
+	// (bins 5-6), where the rate floor caps the rate at 0.1/mean.
+	peak := bins[1] + bins[2]
+	trough := bins[5] + bins[6]
+	if trough == 0 {
+		t.Fatal("trough bins empty: the 0.1 rate floor should keep the source always-on")
+	}
+	if peak < 3*trough {
+		t.Errorf("peak bins %d vs trough bins %d: want ≥ 3× contrast (bins: %v)", peak, trough, bins)
+	}
+}
+
 func TestOnOffBurstHasGaps(t *testing.T) {
 	b := NewOnOffBurst(3, 100, 10_000, 90_000)
 	var long int

@@ -144,14 +144,18 @@ func (t *Tracer) WriteFile(path string) error {
 
 // Validate checks a trace-event JSON document (as exported by WriteJSON)
 // against the schema the viewers rely on: required keys per phase,
-// non-negative times, and — per (pid, tid) — properly nested complete
-// spans (any two spans are disjoint or one contains the other). It
-// returns the number of complete spans checked. Shared by the unit tests
-// and cmd/tracelint.
+// non-negative times, per (pid, tid) properly nested complete spans (any
+// two spans are disjoint or one contains the other), and the serve
+// request-lifecycle schema — queued/attempt/backoff spans contained in a
+// serve-request span on their thread, governor trip/clear instants
+// alternating per thread starting with a trip (a trailing unmatched trip
+// is legal: the run ended degraded). It returns the number of complete
+// spans checked. Shared by the unit tests and cmd/tracelint.
 func Validate(data []byte) (spans int, err error) {
 	var doc struct {
 		TraceEvents []struct {
 			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
 			Ph   string         `json:"ph"`
 			TS   *float64       `json:"ts"`
 			Dur  *float64       `json:"dur"`
@@ -168,9 +172,15 @@ func Validate(data []byte) (spans int, err error) {
 	}
 	type span struct {
 		name       string
+		cat        string
 		start, end float64
 	}
+	type govEvent struct {
+		ts   float64
+		trip bool
+	}
 	perThread := map[[2]int][]span{}
+	govPerThread := map[[2]int][]govEvent{}
 	for i, e := range doc.TraceEvents {
 		if e.Name == "" {
 			return 0, fmt.Errorf("xtrace: event %d: missing name", i)
@@ -197,8 +207,13 @@ func Validate(data []byte) (spans int, err error) {
 				return 0, fmt.Errorf("xtrace: span %d (%s): missing or negative dur", i, e.Name)
 			}
 			key := [2]int{*e.PID, *e.TID}
-			perThread[key] = append(perThread[key], span{e.Name, *e.TS, *e.TS + *e.Dur})
+			perThread[key] = append(perThread[key], span{e.Name, e.Cat, *e.TS, *e.TS + *e.Dur})
 			spans++
+		case "i":
+			if e.Name == InstantGovTrip || e.Name == InstantGovClear {
+				key := [2]int{*e.PID, *e.TID}
+				govPerThread[key] = append(govPerThread[key], govEvent{*e.TS, e.Name == InstantGovTrip})
+			}
 		case "C":
 			if len(e.Args) == 0 {
 				return 0, fmt.Errorf("xtrace: counter %d (%s): no series args", i, e.Name)
@@ -227,6 +242,50 @@ func Validate(data []byte) (spans int, err error) {
 					stack[len(stack)-1].name, stack[len(stack)-1].start, stack[len(stack)-1].end)
 			}
 			stack = append(stack, s)
+		}
+		// Serve request-lifecycle schema: every queued/attempt/backoff
+		// span belongs to exactly one request; on a thread that means it
+		// must lie inside some serve-request span.
+		var reqs []span
+		for _, s := range spans {
+			if s.cat == CatServeRequest {
+				reqs = append(reqs, s)
+			}
+		}
+		for _, s := range spans {
+			switch s.cat {
+			case CatServeQueued, CatServeAttempt, CatServeBackoff:
+				contained := false
+				for _, r := range reqs {
+					if s.start >= r.start-eps && s.end <= r.end+eps {
+						contained = true
+						break
+					}
+				}
+				if !contained {
+					return 0, fmt.Errorf(
+						"xtrace: thread %v: %s span %q [%.3f, %.3f] lies outside every serve-request span",
+						key, s.cat, s.name, s.start, s.end)
+				}
+			}
+		}
+	}
+	// Governor instants: trips and clears alternate per thread, starting
+	// with a trip. A trailing trip without a clear is legal.
+	for key, evs := range govPerThread {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+		expectTrip := true
+		for _, g := range evs {
+			if g.trip != expectTrip {
+				want, got := InstantGovClear, InstantGovTrip
+				if expectTrip {
+					want, got = InstantGovTrip, InstantGovClear
+				}
+				return 0, fmt.Errorf(
+					"xtrace: thread %v: governor instants out of order at ts %.3f: want %q, got %q",
+					key, g.ts, want, got)
+			}
+			expectTrip = !expectTrip
 		}
 	}
 	return spans, nil

@@ -49,6 +49,21 @@ const (
 	CatRing       = "ring"       // chunk-ring producer activity
 )
 
+// Serve request-lifecycle categories. Unlike the sweep categories above,
+// these spans carry VIRTUAL-time stamps (the serving layer's integer
+// nanosecond clock), recorded onto dedicated threads after the cell's
+// event loop drains — one thread per exemplar request, one per cell for
+// the governor/window tracks — so virtual and wall timelines never mix on
+// one thread. Validate enforces their schema: queued/attempt/backoff
+// spans must nest inside a request span, and governor trip/clear instants
+// must alternate starting with a trip.
+const (
+	CatServeRequest = "serve-request" // whole request lifetime: admission → terminal
+	CatServeQueued  = "serve-queued"  // waiting in the admission queue
+	CatServeAttempt = "serve-attempt" // one service attempt on the mm simulator
+	CatServeBackoff = "serve-backoff" // retry backoff between attempts
+)
+
 // Wait-span names: where a worker's non-busy time went.
 const (
 	WaitGeneration = "wait generation" // blocked in Ring.Get / Source.Next
@@ -62,6 +77,15 @@ const (
 	InstantFault      = "fault injected"
 	InstantQuarantine = "cell quarantined"
 	InstantCacheHit   = "resultcache hit"
+
+	// Serve-cell instants (virtual-time stamps, see the serve categories).
+	// Trip/clear must alternate per thread, trip first; a trailing
+	// unmatched trip means the run ended degraded and is legal. Shed
+	// instants are emitted once per metrics window with a count argument,
+	// not per shed request — overload sheds thousands.
+	InstantGovTrip  = "governor trip"
+	InstantGovClear = "governor clear"
+	InstantShed     = "shed"
 )
 
 // Arg is one key/value annotation on an event. Exactly one of Str or Int
@@ -258,6 +282,19 @@ func (th *Thread) Instant(name string, args ...Arg) {
 	th.events = append(th.events, Event{Name: name, Ph: 'i', TS: th.tracer.Now(), Args: args})
 }
 
+// InstantAt records an instant event with an explicit timestamp. The
+// serve layer uses it to place virtual-time instants (governor trips,
+// per-window shed counts) on its dedicated threads.
+func (th *Thread) InstantAt(name string, ts int64, args ...Arg) {
+	if th == nil {
+		return
+	}
+	if ts < 0 {
+		ts = 0
+	}
+	th.events = append(th.events, Event{Name: name, Ph: 'i', TS: ts, Args: args})
+}
+
 // Counter records a counter sample; each Arg becomes one series of the
 // counter track named name.
 func (th *Thread) Counter(name string, args ...Arg) {
@@ -265,6 +302,19 @@ func (th *Thread) Counter(name string, args ...Arg) {
 		return
 	}
 	th.events = append(th.events, Event{Name: name, Ph: 'C', TS: th.tracer.Now(), Args: args})
+}
+
+// CounterAt records a counter sample with an explicit timestamp (the
+// serve layer's per-window queue/token/heap tracks, stamped in virtual
+// time at window close).
+func (th *Thread) CounterAt(name string, ts int64, args ...Arg) {
+	if th == nil {
+		return
+	}
+	if ts < 0 {
+		ts = 0
+	}
+	th.events = append(th.events, Event{Name: name, Ph: 'C', TS: ts, Args: args})
 }
 
 // Events returns the thread's recorded events (the live slice — callers

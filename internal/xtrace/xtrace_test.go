@@ -205,6 +205,83 @@ func TestAnalyze(t *testing.T) {
 	}
 }
 
+// TestValidateServeSchema: the request-lifecycle checks — queued/
+// attempt/backoff spans must live inside a serve-request span on their
+// thread, and governor trip/clear instants alternate starting with a
+// trip (a trailing trip is legal: the run ended degraded).
+func TestValidateServeSchema(t *testing.T) {
+	// A complete request lifecycle with a retry, plus a tripped-then-
+	// cleared-then-tripped-again governor: all legal.
+	ok := `{"traceEvents": [
+		{"name":"req#7","cat":"serve-request","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+		{"name":"queued","cat":"serve-queued","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+		{"name":"attempt 1","cat":"serve-attempt","ph":"X","ts":10,"dur":30,"pid":1,"tid":1},
+		{"name":"backoff","cat":"serve-backoff","ph":"X","ts":40,"dur":20,"pid":1,"tid":1},
+		{"name":"attempt 2","cat":"serve-attempt","ph":"X","ts":60,"dur":40,"pid":1,"tid":1},
+		{"name":"governor trip","ph":"i","ts":5,"pid":1,"tid":2},
+		{"name":"governor clear","ph":"i","ts":50,"pid":1,"tid":2},
+		{"name":"governor trip","ph":"i","ts":90,"pid":1,"tid":2}]}`
+	if n, err := Validate([]byte(ok)); err != nil || n != 5 {
+		t.Fatalf("legal serve trace rejected: n=%d err=%v", n, err)
+	}
+
+	bad := map[string]string{
+		// An attempt span with no enclosing request on its thread.
+		"orphan attempt": `{"traceEvents": [
+			{"name":"attempt 1","cat":"serve-attempt","ph":"X","ts":10,"dur":30,"pid":1,"tid":1}]}`,
+		// A queued span poking out past the end of its request.
+		"queued escapes request": `{"traceEvents": [
+			{"name":"req#1","cat":"serve-request","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+			{"name":"queued","cat":"serve-queued","ph":"X","ts":90,"dur":30,"pid":1,"tid":1}]}`,
+		// Governor cleared before it ever tripped.
+		"clear before trip": `{"traceEvents": [
+			{"name":"governor clear","ph":"i","ts":5,"pid":1,"tid":1},
+			{"name":"governor trip","ph":"i","ts":10,"pid":1,"tid":1}]}`,
+		// Two trips in a row.
+		"double trip": `{"traceEvents": [
+			{"name":"governor trip","ph":"i","ts":5,"pid":1,"tid":1},
+			{"name":"governor trip","ph":"i","ts":10,"pid":1,"tid":1}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted an illegal serve trace", name)
+		}
+	}
+	// Requests on different threads don't contain each other's children.
+	crossThread := `{"traceEvents": [
+		{"name":"req#1","cat":"serve-request","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+		{"name":"queued","cat":"serve-queued","ph":"X","ts":10,"dur":10,"pid":1,"tid":2}]}`
+	if _, err := Validate([]byte(crossThread)); err == nil {
+		t.Error("cross-thread containment accepted")
+	}
+}
+
+// TestInstantCounterAt: virtual-time stamped events carry the given
+// timestamp (clamped at zero), and nil threads stay inert.
+func TestInstantCounterAt(t *testing.T) {
+	tr := New()
+	th := tr.Thread("virtual")
+	th.InstantAt(InstantShed, 12345, ArgInt("count", 3))
+	th.CounterAt("serve state", 67890, ArgInt("queue_depth", 7))
+	th.InstantAt("early", -5)
+	evs := th.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].TS != 12345 || evs[0].Ph != 'i' {
+		t.Errorf("InstantAt stamp = %d ph=%c", evs[0].TS, evs[0].Ph)
+	}
+	if evs[1].TS != 67890 || evs[1].Ph != 'C' {
+		t.Errorf("CounterAt stamp = %d ph=%c", evs[1].TS, evs[1].Ph)
+	}
+	if evs[2].TS != 0 {
+		t.Errorf("negative stamp not clamped: %d", evs[2].TS)
+	}
+	var nilTh *Thread
+	nilTh.InstantAt("i", 1)
+	nilTh.CounterAt("c", 1, ArgInt("v", 1))
+}
+
 // TestNilSafety: a nil tracer and nil threads ignore every call, so
 // disarmed instrumentation costs a nil check.
 func TestNilSafety(t *testing.T) {
